@@ -1,0 +1,90 @@
+// Command dp-discover runs the full three-phase DiscoPoP-Go pipeline —
+// profiling, CU construction, parallelism discovery, ranking — on a
+// bundled workload and prints the ranked parallelization suggestions.
+//
+// Usage:
+//
+//	dp-discover -workload CG [-scale 1] [-threads 16] [-bottomup] [-cus] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"discopop"
+	"discopop/internal/ir"
+	"discopop/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload name")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		threads  = flag.Int("threads", 16, "thread count for local-speedup ranking")
+		bottomUp = flag.Bool("bottomup", false, "use bottom-up CU construction (§3.2.3)")
+		showCUs  = flag.Bool("cus", false, "print the CU graph")
+		dot      = flag.String("dot", "", "write the CU graph in Graphviz format (raw|clustered)")
+		verbose  = flag.Bool("v", false, "print blocking dependences per loop")
+	)
+	flag.Parse()
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "usage: dp-discover -workload <name> (dp-profile -list shows names)")
+		os.Exit(2)
+	}
+	prog, err := workloads.Build(*workload, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep := discopop.Analyze(prog.M, discopop.Options{
+		Threads:     *threads,
+		BottomUpCUs: *bottomUp,
+	})
+	fmt.Printf("%s: %d statements executed, %d dependences, %d CUs, %d CU edges\n\n",
+		prog.Name, rep.Instrs, len(rep.Profile.Deps), len(rep.CUs.CUs), len(rep.CUs.Edges))
+	fmt.Printf("%-4s %-18s %-10s %9s %9s %9s %9s\n",
+		"rank", "kind", "location", "coverage", "speedup", "imbal", "score")
+	rank := 0
+	for _, s := range rep.Ranked {
+		if s.Score <= 0 && !*verbose {
+			continue
+		}
+		rank++
+		fmt.Printf("%-4d %-18s %-10s %8.1f%% %8.2fx %9.3f %9.4f  %s\n",
+			rank, s.Kind, s.Loc, 100*s.Coverage, s.LocalSpeedup, s.Imbalance, s.Score, s.Notes)
+		if *verbose {
+			for _, d := range s.Blocking {
+				fmt.Printf("       blocking: %s RAW %s (%s)\n",
+					d.Sink, d.Source, rep.Profile.VarName(d.Var))
+			}
+		}
+	}
+	if *dot != "" {
+		// Figure 3.6 style (RAW only) or Figure 3.7 style (clustered).
+		fmt.Print(rep.CUs.DOT(*dot != "clustered", *dot == "clustered"))
+		return
+	}
+	if *showCUs {
+		fmt.Println("\nCU graph:")
+		for _, c := range rep.CUs.CUs {
+			fmt.Printf("  %s region=%s reads=%v writes=%v weight=%.0f\n",
+				c, c.Region, varNames(c.ReadSet), varNames(c.WriteSet), c.Weight)
+		}
+		for _, e := range rep.CUs.Edges {
+			carried := ""
+			if e.Carried {
+				carried = " carried"
+			}
+			fmt.Printf("  CU#%d -%s%s-> CU#%d (%d)\n", e.From.ID, e.Type, carried, e.To.ID, e.Count)
+		}
+	}
+}
+
+func varNames(vs []*ir.Var) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Name
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+// Package discopop is the public API of DiscoPoP-Go, a reproduction of the
+// parallelism-discovery framework of "Discovery of Potential Parallelism in
+// Sequential Programs" (Li; ICPP'13 / TU Darmstadt dissertation, 2016).
+//
+// The pipeline follows Figure 1.3 of the paper:
+//
+//  1. Phase 1 — the target program (an IR module) is executed under
+//     instrumentation; the data-dependence profiler (Chapter 2) records
+//     merged <sink, type, source> dependences, control-region execution
+//     counts, and the Program Execution Tree.
+//  2. Phase 2 — computational units are constructed (Chapter 3) and the
+//     discovery algorithms search the CU graph for DOALL and DOACROSS
+//     loops and SPMD/MPMD tasks (Chapter 4).
+//  3. Phase 3 — suggestions are ranked by instruction coverage, local
+//     speedup, and CU imbalance (Section 4.3).
+//
+// Quick start:
+//
+//	prog := discopop.Workload("histogram", 1)
+//	report := discopop.Analyze(prog.M, discopop.Options{})
+//	for _, s := range report.Ranked {
+//	    fmt.Println(s)
+//	}
+package discopop
+
+import (
+	"discopop/internal/cu"
+	"discopop/internal/discovery"
+	"discopop/internal/interp"
+	"discopop/internal/ir"
+	"discopop/internal/pet"
+	"discopop/internal/profiler"
+	"discopop/internal/rank"
+	"discopop/internal/workloads"
+)
+
+// Re-exported core types, so that downstream users interact with one
+// package for the common path.
+type (
+	// Module is an IR module, the analyzable unit.
+	Module = ir.Module
+	// Region is a control region (function body, loop, branch).
+	Region = ir.Region
+	// ProfileResult is the output of the data-dependence profiler.
+	ProfileResult = profiler.Result
+	// Dep is one merged data dependence.
+	Dep = profiler.Dep
+	// CUGraph is the computational-unit graph.
+	CUGraph = cu.Graph
+	// Suggestion is one ranked parallelization opportunity.
+	Suggestion = discovery.Suggestion
+	// Program is a built benchmark workload with ground truth.
+	Program = workloads.Program
+	// PETree is the program execution tree.
+	PETree = pet.Tree
+)
+
+// Suggestion kinds, re-exported.
+const (
+	DOALL          = discovery.DOALL
+	DOALLReduction = discovery.DOALLReduction
+	DOACROSS       = discovery.DOACROSS
+	SPMDTask       = discovery.SPMDTask
+	MPMDTask       = discovery.MPMDTask
+	Sequential     = discovery.Sequential
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Profiler configures Phase 1 (store kind, signature slots, parallel
+	// workers, skip optimization...). The zero value profiles serially
+	// with the exact store.
+	Profiler profiler.Options
+	// Threads caps the local-speedup ranking metric (default 16).
+	Threads int
+	// BottomUpCUs selects the bottom-up CU construction instead of the
+	// default top-down Algorithm 3.
+	BottomUpCUs bool
+}
+
+// Report is the complete result of the three-phase pipeline.
+type Report struct {
+	Mod      *Module
+	Profile  *ProfileResult
+	PET      *PETree
+	Scope    *ir.Scope
+	CUs      *CUGraph
+	Analysis *discovery.Analysis
+	// Ranked lists all suggestions, best first.
+	Ranked []*Suggestion
+	// Instrs is the number of executed IR statements.
+	Instrs int64
+}
+
+// Analyze runs the full pipeline on a module.
+func Analyze(m *Module, opt Options) *Report {
+	prof := profiler.New(m, opt.Profiler)
+	petB := pet.NewBuilder()
+	in := interp.New(m, &pet.Multi{Tracers: []interp.Tracer{prof, petB}})
+	instrs := in.Run()
+	res := prof.Result()
+
+	sinks := map[ir.Loc]int64{}
+	for d, n := range res.Deps {
+		sinks[d.Sink] += n
+	}
+	tree := petB.Tree(instrs)
+	tree.AttachDeps(sinks)
+
+	sc := ir.AnalyzeScopes(m)
+	var g *cu.Graph
+	if opt.BottomUpCUs {
+		g = cu.BuildBottomUp(m, sc, res)
+	} else {
+		g = cu.Build(m, sc, res)
+	}
+	an := discovery.Analyze(m, sc, res, g)
+	an.Suggestions = append(an.Suggestions, an.RecursiveTaskFuncs()...)
+	ranked := rank.Rank(an, rank.Options{Threads: opt.Threads})
+	return &Report{
+		Mod:      m,
+		Profile:  res,
+		PET:      tree,
+		Scope:    sc,
+		CUs:      g,
+		Analysis: an,
+		Ranked:   ranked,
+		Instrs:   instrs,
+	}
+}
+
+// ProfileOnly runs just Phase 1 and returns the profiling result.
+func ProfileOnly(m *Module, opt profiler.Options) *ProfileResult {
+	return profiler.Profile(m, opt)
+}
+
+// Workload builds one of the bundled benchmark programs by name (see
+// WorkloadNames). Scale 1 is the default size.
+func Workload(name string, scale int) *Program {
+	return workloads.MustBuild(name, scale)
+}
+
+// WorkloadNames lists the bundled workloads of a suite ("" for all).
+func WorkloadNames(suite string) []string { return workloads.Names(suite) }
+
+// SuggestionFor returns the report's suggestion covering the given loop
+// region, or nil.
+func (r *Report) SuggestionFor(reg *Region) *Suggestion {
+	for _, s := range r.Ranked {
+		if s.Region == reg {
+			return s
+		}
+	}
+	return nil
+}

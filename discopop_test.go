@@ -1,0 +1,147 @@
+package discopop
+
+import (
+	"testing"
+
+	"discopop/internal/discovery"
+	"discopop/internal/ir"
+)
+
+// classify runs the pipeline and returns the classification of each
+// ground-truth loop of the workload.
+func classify(t *testing.T, name string) (*Program, *Report) {
+	t.Helper()
+	prog := Workload(name, 1)
+	rep := Analyze(prog.M, Options{})
+	return prog, rep
+}
+
+func kindOf(rep *Report, reg *ir.Region) discovery.Kind {
+	s := rep.SuggestionFor(reg)
+	if s == nil {
+		return Sequential
+	}
+	return s.Kind
+}
+
+func isParallel(k discovery.Kind) bool {
+	return k == DOALL || k == DOALLReduction || k == SPMDTask
+}
+
+// TestGroundTruthAllSuites checks every bundled workload: loops the ground
+// truth marks DOALL must be detected as parallelizable, loops marked
+// sequential must not be classified DOALL.
+func TestGroundTruthAllSuites(t *testing.T) {
+	for _, suite := range []string{"NAS", "Starbench", "textbook", "compressor", "MPMD"} {
+		for _, name := range WorkloadNames(suite) {
+			name := name
+			t.Run(name, func(t *testing.T) {
+				prog, rep := classify(t, name)
+				for _, reg := range prog.Truth.DOALL {
+					k := kindOf(rep, reg)
+					if !isParallel(k) {
+						s := rep.SuggestionFor(reg)
+						notes := ""
+						if s != nil {
+							notes = s.Notes
+						}
+						t.Errorf("loop %s: want parallelizable, got %s (%s)", reg, k, notes)
+					}
+				}
+				for _, reg := range prog.Truth.Seq {
+					k := kindOf(rep, reg)
+					if isParallel(k) {
+						t.Errorf("loop %s: want sequential/DOACROSS, got %s", reg, k)
+					}
+				}
+				for _, reg := range prog.Truth.DOACROSS {
+					k := kindOf(rep, reg)
+					if k != DOACROSS && k != Sequential {
+						t.Errorf("loop %s: want DOACROSS-ish, got %s", reg, k)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBOTSTaskDetection verifies that every BOTS-like workload's task
+// function is discovered (the Table 4.6 20/20 result).
+func TestBOTSTaskDetection(t *testing.T) {
+	for _, name := range WorkloadNames("BOTS") {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prog, rep := classify(t, name)
+			for _, f := range prog.Truth.TaskFuncs {
+				found := false
+				for _, s := range rep.Ranked {
+					if (s.Kind == SPMDTask || s.Kind == MPMDTask) &&
+						(s.Func == f || (s.Region != nil && s.Region.Func == f)) {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("no task suggestion for function %s", f.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestMPMDDetection verifies that the MPMD applications expose task
+// parallelism at function level (Table 4.7).
+func TestMPMDDetection(t *testing.T) {
+	for _, name := range []string{"facedetection", "libvorbis"} {
+		prog, rep := classify(t, name)
+		found := false
+		for _, s := range rep.Ranked {
+			if s.Kind == MPMDTask && len(s.Tasks) >= 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no MPMD task suggestion found", prog.Name)
+		}
+	}
+}
+
+// TestRankingOrdersHotLoopsFirst checks that the top-ranked suggestion of
+// a DOALL-dominated workload is its hot loop.
+func TestRankingOrdersHotLoopsFirst(t *testing.T) {
+	prog, rep := classify(t, "c-ray")
+	if len(rep.Ranked) == 0 {
+		t.Fatal("no suggestions")
+	}
+	top := rep.Ranked[0]
+	if top.Region == nil {
+		t.Fatalf("top suggestion is not a loop: %v", top)
+	}
+	// The hot loop or one of its enclosing/enclosed loops must rank first.
+	hot := prog.Truth.Hot
+	if top.Region != hot && !hot.Encloses(top.Region) && !top.Region.Encloses(hot) {
+		t.Errorf("top-ranked %s is unrelated to hot loop %s", top.Region, hot)
+	}
+	if top.Score <= 0 {
+		t.Errorf("top suggestion has non-positive score %f", top.Score)
+	}
+}
+
+// TestPETStructure sanity-checks the program execution tree.
+func TestPETStructure(t *testing.T) {
+	_, rep := classify(t, "CG")
+	if rep.PET.TotalInstrs == 0 {
+		t.Fatal("PET has no instruction count")
+	}
+	loops := 0
+	for _, n := range rep.PET.Nodes {
+		if n.Region != nil && n.Region.Kind == ir.RLoop {
+			loops++
+			if n.Iters == 0 && n.Entries > 0 {
+				t.Errorf("loop node %s entered but zero iterations", n.Loc)
+			}
+		}
+	}
+	if loops == 0 {
+		t.Error("PET contains no loop nodes")
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a small program, run the DiscoPoP-Go pipeline, and
+// print the ranked parallelization suggestions plus the OpenMP-style
+// pragma for the best loop.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"discopop"
+)
+
+func main() {
+	// Build a tiny program: initialize a vector, then compute a dot
+	// product (a reduction) and a scaled copy (a DOALL loop).
+	const n = 1000
+	b := discopop.NewBuilder("quickstart")
+	x := b.GlobalArray("x", discopop.F64, n)
+	y := b.GlobalArray("y", discopop.F64, n)
+	dot := b.Global("dot", discopop.F64)
+
+	fb := b.Func("main")
+	fb.For("i", discopop.CI(0), discopop.CI(n), discopop.CI(1), func(i *discopop.Var) {
+		fb.SetAt(x, discopop.V(i), discopop.Rnd())
+	})
+	fb.Set(dot, discopop.CF(0))
+	fb.For("i", discopop.CI(0), discopop.CI(n), discopop.CI(1), func(i *discopop.Var) {
+		// dot += x[i] * x[i]: a sum reduction.
+		fb.Set(dot, discopop.Add(discopop.V(dot),
+			discopop.Mul(discopop.At(x, discopop.V(i)), discopop.At(x, discopop.V(i)))))
+	})
+	fb.For("i", discopop.CI(0), discopop.CI(n), discopop.CI(1), func(i *discopop.Var) {
+		// y[i] = x[i] / dot: independent iterations.
+		fb.SetAt(y, discopop.V(i),
+			discopop.Div(discopop.At(x, discopop.V(i)), discopop.V(dot)))
+	})
+	mod := b.Build(fb.Done())
+
+	// Phase 1-3: profile, build CUs, discover, rank.
+	report := discopop.Analyze(mod, discopop.Options{Threads: 8})
+
+	fmt.Printf("executed %d IR statements, %d merged dependences, %d CUs\n\n",
+		report.Instrs, len(report.Profile.Deps), len(report.CUs.CUs))
+	fmt.Println("ranked suggestions:")
+	for i, s := range report.Ranked {
+		if s.Score <= 0 {
+			continue
+		}
+		fmt.Printf("  %d. %-18s at %-6s coverage=%4.1f%% speedup=%5.2fx  %s\n",
+			i+1, s.Kind, s.Loc, 100*s.Coverage, s.LocalSpeedup, s.Notes)
+		if pragma := report.Analysis.Pragma(s); pragma != "" {
+			fmt.Printf("     %s\n", pragma)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package cdep implements the control-dependence analyses of Section 3.2.2:
+// re-convergence points of branches and loops — the point where branch
+// alternatives end and unconditional execution resumes — computed two ways.
+// The static way uses post-dominators on the lowered CFG (available because
+// we have the IR, like DiscoPoP's compiler-based pipeline). The dynamic way
+// reproduces the paper's binary-level technique: a look-ahead that follows
+// every branch alternative without executing it until the alternatives
+// meet, plus a runtime stack of active control regions.
+package cdep
+
+import (
+	"discopop/internal/ir"
+)
+
+// PostDom holds the post-dominator relation of one CFG.
+type PostDom struct {
+	CFG *ir.CFG
+	// IDom[b] is the immediate post-dominator block ID of block b
+	// (-1 for the exit block).
+	IDom []int
+}
+
+// ComputePostDom computes immediate post-dominators with the classic
+// iterative dataflow algorithm (Cooper-Harvey-Kennedy on the reverse CFG).
+func ComputePostDom(cfg *ir.CFG) *PostDom {
+	n := len(cfg.Blocks)
+	// Reverse post-order of the reverse CFG (i.e., order from exit).
+	order := make([]*ir.BB, 0, n)
+	seen := make([]bool, n)
+	var dfs func(b *ir.BB)
+	dfs = func(b *ir.BB) {
+		seen[b.ID] = true
+		for _, p := range b.Preds {
+			if !seen[p.ID] {
+				dfs(p)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(cfg.Exit)
+	// order is post-order from exit over preds; reverse it.
+	for l, r := 0, len(order)-1; l < r; l, r = l+1, r-1 {
+		order[l], order[r] = order[r], order[l]
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, b := range order {
+		pos[b.ID] = i
+	}
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[cfg.Exit.ID] = cfg.Exit.ID
+	intersect := func(a, b int) int {
+		for a != b {
+			for pos[a] > pos[b] {
+				a = idom[a]
+			}
+			for pos[b] > pos[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == cfg.Exit {
+				continue
+			}
+			newIdom := -1
+			for _, s := range b.Succs {
+				if idom[s.ID] == -1 && s != cfg.Exit {
+					continue
+				}
+				if s == cfg.Exit || idom[s.ID] != -1 {
+					if newIdom == -1 {
+						newIdom = s.ID
+					} else {
+						newIdom = intersect(newIdom, s.ID)
+					}
+				}
+			}
+			if newIdom != -1 && idom[b.ID] != newIdom {
+				idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[cfg.Exit.ID] = -1
+	return &PostDom{CFG: cfg, IDom: idom}
+}
+
+// PostDominates reports whether block a post-dominates block b.
+func (pd *PostDom) PostDominates(a, b int) bool {
+	if a == b {
+		return true
+	}
+	for x := pd.IDom[b]; x != -1; x = pd.IDom[x] {
+		if x == a {
+			return true
+		}
+		if x == pd.IDom[x] {
+			break
+		}
+	}
+	return false
+}
+
+// Reconvergence maps each branching block (if heads and loop heads) to its
+// re-convergence point: the immediate post-dominator — the solid black
+// circles of Figure 3.1.
+func Reconvergence(cfg *ir.CFG) map[*ir.BB]*ir.BB {
+	pd := ComputePostDom(cfg)
+	out := map[*ir.BB]*ir.BB{}
+	for _, b := range cfg.Blocks {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		if id := pd.IDom[b.ID]; id >= 0 {
+			out[b] = cfg.Blocks[id]
+		}
+	}
+	return out
+}
+
+// LookaheadReconvergence reproduces the dynamic technique: starting at a
+// branching block, it traverses all branch alternatives breadth-first
+// without executing them — following jumps only — until a block reachable
+// from every alternative is found. This mirrors the Valgrind-based
+// implementation that disassembles the alternatives of each encountered
+// branch.
+func LookaheadReconvergence(cfg *ir.CFG, branch *ir.BB) *ir.BB {
+	if len(branch.Succs) < 2 {
+		return nil
+	}
+	// Reachable sets from each alternative, expanded in lock-step.
+	reach := make([]map[int]bool, len(branch.Succs))
+	frontiers := make([][]*ir.BB, len(branch.Succs))
+	for i, s := range branch.Succs {
+		reach[i] = map[int]bool{s.ID: true}
+		frontiers[i] = []*ir.BB{s}
+	}
+	inAll := func(id int) bool {
+		for _, r := range reach {
+			if !r[id] {
+				return false
+			}
+		}
+		return true
+	}
+	for step := 0; step < 4*len(cfg.Blocks)+4; step++ {
+		// Check for a common block, preferring the earliest block ID for
+		// determinism.
+		best := -1
+		for id := range reach[0] {
+			if inAll(id) && (best == -1 || id < best) {
+				best = id
+			}
+		}
+		if best != -1 {
+			return cfg.Blocks[best]
+		}
+		advanced := false
+		for i := range frontiers {
+			var next []*ir.BB
+			for _, b := range frontiers[i] {
+				for _, s := range b.Succs {
+					if !reach[i][s.ID] {
+						reach[i][s.ID] = true
+						next = append(next, s)
+						advanced = true
+					}
+				}
+			}
+			frontiers[i] = next
+		}
+		if !advanced {
+			break
+		}
+	}
+	// Fall back: exit post-dominates everything.
+	if inAll(cfg.Exit.ID) {
+		return cfg.Exit
+	}
+	return nil
+}
+
+// RegionEntry is one entry of the runtime control-region stack: the
+// <start, type, end> triple of Section 3.2.2.
+type RegionEntry struct {
+	Start ir.Loc
+	Kind  ir.RegionKind
+	End   ir.Loc
+}
+
+// Stack is the runtime stack of active control regions maintained during
+// dynamic control-dependence analysis.
+type Stack struct {
+	entries []RegionEntry
+}
+
+// Push records entry of a control region.
+func (s *Stack) Push(e RegionEntry) { s.entries = append(s.entries, e) }
+
+// Pop removes the topmost region.
+func (s *Stack) Pop() RegionEntry {
+	e := s.entries[len(s.entries)-1]
+	s.entries = s.entries[:len(s.entries)-1]
+	return e
+}
+
+// Top returns the current innermost region and whether one exists.
+func (s *Stack) Top() (RegionEntry, bool) {
+	if len(s.entries) == 0 {
+		return RegionEntry{}, false
+	}
+	return s.entries[len(s.entries)-1], true
+}
+
+// Depth returns the stack depth.
+func (s *Stack) Depth() int { return len(s.entries) }
+
+// ControlDeps returns, for every statement-bearing block, the branching
+// block it is control dependent on (if any): b is control dependent on c
+// if c branches and b does not post-dominate c but lies on some path from
+// c before the re-convergence point.
+func ControlDeps(cfg *ir.CFG) map[*ir.BB]*ir.BB {
+	pd := ComputePostDom(cfg)
+	out := map[*ir.BB]*ir.BB{}
+	for _, c := range cfg.Blocks {
+		if len(c.Succs) < 2 {
+			continue
+		}
+		re := pd.IDom[c.ID]
+		// Walk blocks reachable from each alternative up to the
+		// re-convergence point; those not post-dominating c depend on c.
+		var visit func(b *ir.BB)
+		seen := map[int]bool{}
+		visit = func(b *ir.BB) {
+			if b.ID == re || seen[b.ID] {
+				return
+			}
+			seen[b.ID] = true
+			if !pd.PostDominates(b.ID, c.ID) {
+				if _, dup := out[b]; !dup {
+					out[b] = c
+				}
+			}
+			for _, s := range b.Succs {
+				visit(s)
+			}
+		}
+		for _, s := range c.Succs {
+			visit(s)
+		}
+	}
+	return out
+}

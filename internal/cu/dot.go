@@ -1,0 +1,80 @@
+package cu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"discopop/internal/profiler"
+)
+
+// DOT renders the CU graph in Graphviz format — the form in which the
+// paper presents CU graphs (Figure 3.6's rot-cc graph with RAW edges, and
+// Figure 3.7's CG graph combined with control-region clusters).
+//
+// Edge colors follow Figure 3.7: red = RAW, blue = WAR, green = WAW.
+// When onlyRAW is set, only true dependences are drawn (Figure 3.6 style:
+// "all the main computational units and only the RAW-dependence edges").
+// When clusterRegions is set, CUs are grouped into subgraph clusters by
+// their control region, reproducing the combined control-region view.
+func (g *Graph) DOT(onlyRAW, clusterRegions bool) string {
+	var sb strings.Builder
+	sb.WriteString("digraph cugraph {\n  rankdir=LR;\n  node [shape=box];\n")
+	if clusterRegions {
+		// Group CUs by region, stable order.
+		regions := make([]int, 0, len(g.ByRegion))
+		byID := map[int][]*CU{}
+		for r, cus := range g.ByRegion {
+			regions = append(regions, r.ID)
+			byID[r.ID] = cus
+		}
+		sort.Ints(regions)
+		for _, rid := range regions {
+			cus := byID[rid]
+			if len(cus) == 0 {
+				continue
+			}
+			r := cus[0].Region
+			fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=\"%s\";\n", rid, r)
+			for _, c := range cus {
+				fmt.Fprintf(&sb, "    cu%d [label=\"%s\"];\n", c.ID, nodeLabel(c))
+			}
+			sb.WriteString("  }\n")
+		}
+	} else {
+		for _, c := range g.CUs {
+			fmt.Fprintf(&sb, "  cu%d [label=\"%s\"];\n", c.ID, nodeLabel(c))
+		}
+	}
+	for _, e := range g.Edges {
+		if onlyRAW && e.Type != profiler.RAW {
+			continue
+		}
+		color := "red"
+		switch e.Type {
+		case profiler.WAR:
+			color = "blue"
+		case profiler.WAW:
+			color = "green"
+		}
+		style := ""
+		if e.Carried {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&sb, "  cu%d -> cu%d [color=%s%s];\n", e.From.ID, e.To.ID, color, style)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func nodeLabel(c *CU) string {
+	var reads, writes []string
+	for _, v := range c.ReadSet {
+		reads = append(reads, v.Name)
+	}
+	for _, v := range c.WriteSet {
+		writes = append(writes, v.Name)
+	}
+	return fmt.Sprintf("CU %d\\n%s-%s\\nR:{%s} W:{%s}", c.ID, c.Start, c.End,
+		strings.Join(reads, ","), strings.Join(writes, ","))
+}

@@ -1,0 +1,58 @@
+package cu
+
+import (
+	"strings"
+	"testing"
+
+	"discopop/internal/ir"
+	"discopop/internal/profiler"
+	"discopop/internal/workloads"
+)
+
+// TestDOTFig36Style renders rot-cc's CU graph with only RAW edges, the
+// Figure 3.6 presentation.
+func TestDOTFig36Style(t *testing.T) {
+	prog := workloads.MustBuild("rot-cc", 1)
+	res := profiler.Profile(prog.M, profiler.Options{Store: profiler.StorePerfect})
+	sc := ir.AnalyzeScopes(prog.M)
+	g := Build(prog.M, sc, res)
+	dot := g.DOT(true, false)
+	if !strings.HasPrefix(dot, "digraph cugraph") {
+		t.Fatalf("not a digraph:\n%.200s", dot)
+	}
+	if strings.Contains(dot, "color=blue") || strings.Contains(dot, "color=green") {
+		t.Fatal("onlyRAW render contains WAR/WAW edges")
+	}
+	if !strings.Contains(dot, "color=red") {
+		t.Fatal("no RAW edges in rot-cc graph")
+	}
+	if !strings.Contains(dot, "R:{") {
+		t.Fatal("node labels lack read sets")
+	}
+}
+
+// TestDOTFig37Style renders CG's CU graph clustered by control region with
+// all three edge kinds, the Figure 3.7 presentation.
+func TestDOTFig37Style(t *testing.T) {
+	prog := workloads.MustBuild("CG", 1)
+	res := profiler.Profile(prog.M, profiler.Options{Store: profiler.StorePerfect})
+	sc := ir.AnalyzeScopes(prog.M)
+	g := Build(prog.M, sc, res)
+	dot := g.DOT(false, true)
+	if !strings.Contains(dot, "subgraph cluster_") {
+		t.Fatal("clustered render lacks region clusters")
+	}
+	colors := 0
+	for _, c := range []string{"color=red", "color=blue", "color=green"} {
+		if strings.Contains(dot, c) {
+			colors++
+		}
+	}
+	if colors < 2 {
+		t.Fatalf("combined CG graph shows only %d edge colors", colors)
+	}
+	// Carried edges render dashed.
+	if !strings.Contains(dot, "style=dashed") {
+		t.Fatal("no loop-carried (dashed) edges in CG graph")
+	}
+}

@@ -1,0 +1,415 @@
+package discovery
+
+import (
+	"strings"
+	"testing"
+
+	"discopop/internal/cu"
+	"discopop/internal/ir"
+	"discopop/internal/profiler"
+)
+
+func analyzeModule(t *testing.T, m *ir.Module) *Analysis {
+	t.Helper()
+	res := profiler.Profile(m, profiler.Options{Store: profiler.StorePerfect})
+	sc := ir.AnalyzeScopes(m)
+	g := cu.Build(m, sc, res)
+	return Analyze(m, sc, res, g)
+}
+
+func loopSuggestion(a *Analysis, r *ir.Region) *Suggestion {
+	for _, s := range a.Suggestions {
+		if s.Region == r {
+			return s
+		}
+	}
+	return nil
+}
+
+// --- Reduction recognition ---------------------------------------------
+
+func buildLoop(body func(b *ir.Builder, fb *ir.FuncBuilder, i *ir.Var)) (*ir.Module, *ir.Region) {
+	b := ir.NewBuilder("t")
+	fb := b.Func("main")
+	var loop *ir.Region
+	loop = fb.For("i", ir.CI(0), ir.CI(32), ir.CI(1), func(i *ir.Var) {
+		body(b, fb, i)
+	})
+	return b.Build(fb.Done()), loop
+}
+
+func TestReductionSum(t *testing.T) {
+	var sum *ir.Var
+	b := ir.NewBuilder("t")
+	sum = b.Global("sum", ir.F64)
+	fb := b.Func("main")
+	loop := fb.For("i", ir.CI(0), ir.CI(32), ir.CI(1), func(i *ir.Var) {
+		fb.Set(sum, ir.Add(ir.V(sum), ir.V(i)))
+	})
+	m := b.Build(fb.Done())
+	a := analyzeModule(t, m)
+	s := loopSuggestion(a, loop)
+	if s == nil || s.Kind != DOALLReduction {
+		t.Fatalf("sum loop = %v, want DOALL(reduction)", s)
+	}
+	if len(s.Reductions) != 1 || s.Reductions[0].Name != "sum" {
+		t.Fatalf("reductions = %v", s.Reductions)
+	}
+}
+
+func TestReductionMinMaxMul(t *testing.T) {
+	for _, mk := range []func(v, x ir.Expr) ir.Expr{
+		func(v, x ir.Expr) ir.Expr { return ir.Min(v, x) },
+		func(v, x ir.Expr) ir.Expr { return ir.Max(v, x) },
+		func(v, x ir.Expr) ir.Expr { return ir.Mul(v, x) },
+	} {
+		b := ir.NewBuilder("t")
+		acc := b.Global("acc", ir.F64)
+		fb := b.Func("main")
+		fb.Set(acc, ir.CF(1))
+		loop := fb.For("i", ir.CI(1), ir.CI(16), ir.CI(1), func(i *ir.Var) {
+			fb.Set(acc, mk(ir.V(acc), ir.V(i)))
+		})
+		m := b.Build(fb.Done())
+		a := analyzeModule(t, m)
+		s := loopSuggestion(a, loop)
+		if s == nil || s.Kind != DOALLReduction {
+			t.Errorf("commutative op loop = %v, want DOALL(reduction)", s)
+		}
+	}
+}
+
+func TestRecurrenceIsNotReduction(t *testing.T) {
+	// a[i] = a[i] + a[i-1] is a true recurrence: the other operand
+	// touches the same variable.
+	b := ir.NewBuilder("t")
+	arr := b.GlobalArray("a", ir.F64, 64)
+	fb := b.Func("main")
+	loop := fb.For("i", ir.CI(1), ir.CI(64), ir.CI(1), func(i *ir.Var) {
+		fb.SetAt(arr, ir.V(i), ir.Add(ir.At(arr, ir.V(i)),
+			ir.At(arr, ir.Sub(ir.V(i), ir.CI(1)))))
+	})
+	m := b.Build(fb.Done())
+	a := analyzeModule(t, m)
+	s := loopSuggestion(a, loop)
+	if s == nil || s.Kind == DOALL || s.Kind == DOALLReduction {
+		t.Fatalf("prefix-sum loop = %v, must not be parallelizable", s)
+	}
+}
+
+func TestNonCommutativeNotReduction(t *testing.T) {
+	b := ir.NewBuilder("t")
+	acc := b.Global("acc", ir.F64)
+	fb := b.Func("main")
+	loop := fb.For("i", ir.CI(0), ir.CI(16), ir.CI(1), func(i *ir.Var) {
+		fb.Set(acc, ir.Sub(ir.V(acc), ir.V(i))) // subtraction: order matters
+	})
+	m := b.Build(fb.Done())
+	a := analyzeModule(t, m)
+	s := loopSuggestion(a, loop)
+	if s != nil && (s.Kind == DOALL || s.Kind == DOALLReduction) {
+		// Note: acc -= i is mathematically a sum reduction, but the
+		// pattern matcher follows the paper's conservative commutative-op
+		// rule; Sub is rejected.
+		t.Fatalf("subtraction loop = %v, conservative rule must reject", s.Kind)
+	}
+}
+
+func TestHistogramIndirectReduction(t *testing.T) {
+	b := ir.NewBuilder("t")
+	hist := b.GlobalArray("hist", ir.F64, 8)
+	data := b.GlobalArray("data", ir.F64, 64)
+	fb := b.Func("main")
+	bin := fb.Local("bin", ir.I64)
+	fb.For("z", ir.CI(0), ir.CI(64), ir.CI(1), func(i *ir.Var) {
+		fb.SetAt(data, ir.V(i), ir.Rnd())
+	})
+	loop := fb.For("i", ir.CI(0), ir.CI(64), ir.CI(1), func(i *ir.Var) {
+		fb.Set(bin, ir.Floor(ir.Mul(ir.At(data, ir.V(i)), ir.CI(8))))
+		fb.SetAt(hist, ir.V(bin), ir.Add(ir.At(hist, ir.V(bin)), ir.CF(1)))
+	})
+	m := b.Build(fb.Done())
+	a := analyzeModule(t, m)
+	s := loopSuggestion(a, loop)
+	if s == nil || s.Kind != DOALLReduction {
+		t.Fatalf("histogram loop = %v, want DOALL(reduction)", s)
+	}
+}
+
+// --- DOALL / sequential classification ----------------------------------
+
+func TestDOALLDisjointWrites(t *testing.T) {
+	m, loop := buildLoopWithArrays(func(fb *ir.FuncBuilder, a, b *ir.Var, i *ir.Var) {
+		fb.SetAt(b, ir.V(i), ir.Mul(ir.At(a, ir.V(i)), ir.CF(2)))
+	})
+	an := analyzeModule(t, m)
+	s := loopSuggestion(an, loop)
+	if s == nil || s.Kind != DOALL {
+		t.Fatalf("disjoint-writes loop = %v, want DOALL", s)
+	}
+}
+
+func TestSequentialCarriedFlow(t *testing.T) {
+	m, loop := buildLoopWithArrays(func(fb *ir.FuncBuilder, a, b *ir.Var, i *ir.Var) {
+		fb.SetAt(a, ir.V(i), ir.Add(ir.At(a, ir.Sub(ir.V(i), ir.CI(1))), ir.CF(1)))
+	})
+	an := analyzeModule(t, m)
+	s := loopSuggestion(an, loop)
+	if s == nil || s.Kind == DOALL || s.Kind == DOALLReduction {
+		t.Fatalf("carried-flow loop = %v, must not be DOALL", s)
+	}
+	if len(s.Blocking) == 0 {
+		t.Fatal("no blocking dependences reported")
+	}
+}
+
+func buildLoopWithArrays(body func(fb *ir.FuncBuilder, a, b *ir.Var, i *ir.Var)) (*ir.Module, *ir.Region) {
+	bld := ir.NewBuilder("t")
+	a := bld.GlobalArray("a", ir.F64, 64)
+	b := bld.GlobalArray("b", ir.F64, 64)
+	fb := bld.Func("main")
+	fb.For("z", ir.CI(0), ir.CI(64), ir.CI(1), func(i *ir.Var) {
+		fb.SetAt(a, ir.V(i), ir.Rnd())
+	})
+	loop := fb.For("i", ir.CI(1), ir.CI(64), ir.CI(1), func(i *ir.Var) {
+		body(fb, a, b, i)
+	})
+	return bld.Build(fb.Done()), loop
+}
+
+func TestPrivatizableTempDoesNotBlock(t *testing.T) {
+	// A scalar temp written-then-read each iteration only carries
+	// WAR/WAW: resolvable by privatization, so the loop stays DOALL.
+	bld := ir.NewBuilder("t")
+	a := bld.GlobalArray("a", ir.F64, 64)
+	fb := bld.Func("main")
+	tmp := fb.Local("tmp", ir.F64)
+	loop := fb.For("i", ir.CI(0), ir.CI(64), ir.CI(1), func(i *ir.Var) {
+		fb.Set(tmp, ir.Mul(ir.V(i), ir.CF(3)))
+		fb.SetAt(a, ir.V(i), ir.V(tmp))
+	})
+	m := bld.Build(fb.Done())
+	an := analyzeModule(t, m)
+	s := loopSuggestion(an, loop)
+	if s == nil || s.Kind != DOALL {
+		t.Fatalf("temp loop = %v, want DOALL", s)
+	}
+	// And the pragma must privatize the temp.
+	pragma := an.Pragma(s)
+	if !strings.Contains(pragma, "private(tmp)") {
+		t.Fatalf("pragma %q lacks private(tmp)", pragma)
+	}
+}
+
+func TestFirstPrivateClassification(t *testing.T) {
+	// Early iterations read the pre-loop value of seed; from iteration 32
+	// on, seed is overwritten before being read in the same iteration.
+	// There is no carried flow dependence (every read pairs with either
+	// the pre-loop init or the same iteration's write), but there are
+	// carried WAW/WAR dependences — the classic firstprivate shape: a
+	// private copy initialized with the original value.
+	bld := ir.NewBuilder("t")
+	a := bld.GlobalArray("a", ir.F64, 64)
+	fb := bld.Func("main")
+	seed := fb.Local("seed", ir.F64)
+	fb.Set(seed, ir.CF(1))
+	loop := fb.For("i", ir.CI(0), ir.CI(64), ir.CI(1), func(i *ir.Var) {
+		fb.If(ir.Ge(ir.V(i), ir.CI(32)), func() {
+			fb.Set(seed, ir.Add(ir.V(i), ir.CF(0.5)))
+		})
+		fb.SetAt(a, ir.V(i), ir.V(seed))
+	})
+	m := bld.Build(fb.Done())
+	an := analyzeModule(t, m)
+	s := loopSuggestion(an, loop)
+	if s == nil {
+		t.Fatal("no suggestion")
+	}
+	clauses := an.Classify(s)
+	var kind ClauseKind
+	found := false
+	for _, c := range clauses {
+		if c.Var.Name == "seed" {
+			kind, found = c.Kind, true
+		}
+	}
+	if !found || kind != ClauseFirstPrivate {
+		t.Fatalf("seed clause = %v (found=%v), want firstprivate", kind, found)
+	}
+}
+
+// --- DOACROSS ------------------------------------------------------------
+
+func TestDOACROSSStageSplit(t *testing.T) {
+	// Carried chain on cursor, heavy independent body per iteration.
+	bld := ir.NewBuilder("t")
+	src := bld.GlobalArray("src", ir.F64, 64)
+	dst := bld.GlobalArray("dst", ir.F64, 64*8)
+	cur := bld.Global("cursor", ir.F64)
+	fb := bld.Func("main")
+	v := fb.Local("v", ir.F64)
+	fb.For("z", ir.CI(0), ir.CI(64), ir.CI(1), func(i *ir.Var) {
+		fb.SetAt(src, ir.V(i), ir.Rnd())
+	})
+	loop := fb.For("i", ir.CI(0), ir.CI(64), ir.CI(1), func(i *ir.Var) {
+		fb.Set(v, ir.At(src, ir.Mod(ir.V(cur), ir.CI(64))))
+		fb.Set(cur, ir.Add(ir.V(cur), ir.Add(ir.CF(1), ir.V(v))))
+		fb.For("j", ir.CI(0), ir.CI(8), ir.CI(1), func(j *ir.Var) {
+			fb.SetAt(dst, ir.Add(ir.Mul(ir.V(i), ir.CI(8)), ir.V(j)),
+				ir.Mul(ir.V(v), ir.V(j)))
+		})
+	})
+	m := bld.Build(fb.Done())
+	an := analyzeModule(t, m)
+	s := loopSuggestion(an, loop)
+	if s == nil || s.Kind != DOACROSS {
+		t.Fatalf("cursor loop = %v, want DOACROSS", s)
+	}
+	if len(s.SeqStage) == 0 || len(s.ParStage) == 0 {
+		t.Fatalf("stage split empty: seq=%d par=%d", len(s.SeqStage), len(s.ParStage))
+	}
+	var seqW, parW float64
+	for _, c := range s.SeqStage {
+		seqW += c.Weight
+	}
+	for _, c := range s.ParStage {
+		parW += c.Weight
+	}
+	if parW <= seqW {
+		t.Errorf("parallel stage (%f) should outweigh sequential stage (%f)", parW, seqW)
+	}
+}
+
+// --- MPMD ---------------------------------------------------------------
+
+func TestMPMDDiamond(t *testing.T) {
+	// c1 and c2 both depend on p, and m depends on both: a diamond with
+	// width 2.
+	bld := ir.NewBuilder("t")
+	a := bld.GlobalArray("a", ir.F64, 32)
+	b1 := bld.GlobalArray("b1", ir.F64, 32)
+	b2 := bld.GlobalArray("b2", ir.F64, 32)
+	out := bld.Global("out", ir.F64)
+	fb := bld.Func("work")
+	fb.For("i", ir.CI(0), ir.CI(32), ir.CI(1), func(i *ir.Var) {
+		fb.SetAt(a, ir.V(i), ir.Rnd())
+	})
+	fb.For("i", ir.CI(0), ir.CI(32), ir.CI(1), func(i *ir.Var) {
+		fb.SetAt(b1, ir.V(i), ir.Mul(ir.At(a, ir.V(i)), ir.CF(2)))
+	})
+	fb.For("i", ir.CI(0), ir.CI(32), ir.CI(1), func(i *ir.Var) {
+		fb.SetAt(b2, ir.V(i), ir.Add(ir.At(a, ir.V(i)), ir.CF(1)))
+	})
+	fb.For("i", ir.CI(0), ir.CI(32), ir.CI(1), func(i *ir.Var) {
+		fb.Set(out, ir.Add(ir.V(out), ir.Add(ir.At(b1, ir.V(i)), ir.At(b2, ir.V(i)))))
+	})
+	m := bld.Build(fb.Done())
+	an := analyzeModule(t, m)
+	var mpmd *Suggestion
+	for _, s := range an.Suggestions {
+		if s.Kind == MPMDTask {
+			mpmd = s
+		}
+	}
+	if mpmd == nil {
+		t.Fatal("no MPMD suggestion for diamond")
+	}
+	if len(mpmd.Tasks) < 2 {
+		t.Fatalf("MPMD tasks = %d, want >= 2", len(mpmd.Tasks))
+	}
+}
+
+func TestRecursiveTasksFib(t *testing.T) {
+	bld := ir.NewBuilder("fib")
+	f := bld.Forward("fib", true)
+	fb := bld.DefineForward(f)
+	n := fb.Param("n", ir.F64)
+	x := fb.Local("x", ir.F64)
+	y := fb.Local("y", ir.F64)
+	fb.IfElse(ir.Lt(ir.V(n), ir.CI(2)), func() {
+		fb.Return(ir.V(n))
+	}, func() {
+		fb.CallInto(ir.V(x), f, ir.Sub(ir.V(n), ir.CI(1)))
+		fb.CallInto(ir.V(y), f, ir.Sub(ir.V(n), ir.CI(2)))
+		fb.Return(ir.Add(ir.V(x), ir.V(y)))
+	})
+	fb.Done()
+	mb := bld.Func("main")
+	res := bld.Global("res", ir.F64)
+	mb.CallInto(ir.V(res), f, ir.CI(10))
+	m := bld.Build(mb.Done())
+	an := analyzeModule(t, m)
+	tasks := an.RecursiveTaskFuncs()
+	if len(tasks) != 1 || tasks[0].Func != f {
+		t.Fatalf("recursive tasks = %v, want fib", tasks)
+	}
+	if len(tasks[0].Tasks) != 2 {
+		t.Fatalf("fib task count = %d, want 2", len(tasks[0].Tasks))
+	}
+}
+
+func TestRecursiveTasksDependentCallsRejected(t *testing.T) {
+	// g(g(n)): the second call consumes the first's result — no tasks.
+	bld := ir.NewBuilder("chain")
+	f := bld.Forward("g", true)
+	fb := bld.DefineForward(f)
+	n := fb.Param("n", ir.F64)
+	x := fb.Local("x", ir.F64)
+	y := fb.Local("y", ir.F64)
+	fb.IfElse(ir.Lt(ir.V(n), ir.CI(2)), func() {
+		fb.Return(ir.V(n))
+	}, func() {
+		fb.CallInto(ir.V(x), f, ir.Sub(ir.V(n), ir.CI(1)))
+		fb.CallInto(ir.V(y), f, ir.Sub(ir.V(x), ir.CI(1))) // depends on x!
+		fb.Return(ir.V(y))
+	})
+	fb.Done()
+	mb := bld.Func("main")
+	res := bld.Global("res", ir.F64)
+	mb.CallInto(ir.V(res), f, ir.CI(8))
+	m := bld.Build(mb.Done())
+	an := analyzeModule(t, m)
+	for _, s := range an.RecursiveTaskFuncs() {
+		if s.Func == f {
+			t.Fatal("dependent recursive calls wrongly suggested as tasks")
+		}
+	}
+}
+
+func TestPragmaRendering(t *testing.T) {
+	b := ir.NewBuilder("t")
+	sum := b.Global("sum", ir.F64)
+	prod := b.Global("prod", ir.F64)
+	fb := b.Func("main")
+	tmp := fb.Local("tmp", ir.F64)
+	fb.Set(prod, ir.CF(1))
+	loop := fb.For("i", ir.CI(1), ir.CI(16), ir.CI(1), func(i *ir.Var) {
+		fb.Set(tmp, ir.Mul(ir.V(i), ir.CF(2)))
+		fb.Set(sum, ir.Add(ir.V(sum), ir.V(tmp)))
+		fb.Set(prod, ir.Mul(ir.V(prod), ir.V(i)))
+	})
+	m := b.Build(fb.Done())
+	an := analyzeModule(t, m)
+	s := loopSuggestion(an, loop)
+	if s == nil || s.Kind != DOALLReduction {
+		t.Fatalf("loop = %v", s)
+	}
+	pragma := an.Pragma(s)
+	for _, frag := range []string{"#pragma omp parallel for", "private(tmp)",
+		"reduction(*:prod)", "reduction(+:sum)"} {
+		if !strings.Contains(pragma, frag) {
+			t.Errorf("pragma %q missing %q", pragma, frag)
+		}
+	}
+}
+
+func TestPragmaEmptyForSequential(t *testing.T) {
+	m, loop := buildLoopWithArrays(func(fb *ir.FuncBuilder, a, b *ir.Var, i *ir.Var) {
+		fb.SetAt(a, ir.V(i), ir.Add(ir.At(a, ir.Sub(ir.V(i), ir.CI(1))), ir.CF(1)))
+	})
+	an := analyzeModule(t, m)
+	s := loopSuggestion(an, loop)
+	if p := an.Pragma(s); p != "" {
+		t.Fatalf("sequential loop got pragma %q", p)
+	}
+}

@@ -1,0 +1,214 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"discopop/internal/cu"
+	"discopop/internal/graph"
+	"discopop/internal/ir"
+	"discopop/internal/profiler"
+)
+
+// analyzeMPMD implements the MPMD-style task detection of Section 4.2.2:
+// per function, the CU graph restricted to the function is simplified by
+// substituting strongly connected components and chains of CUs with single
+// vertices (Figure 4.5); if the resulting DAG contains vertices that may
+// execute concurrently, the contracted vertex groups become task
+// suggestions.
+func (a *Analysis) analyzeMPMD() {
+	for _, f := range a.Mod.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		if s := a.mpmdForFunc(f); s != nil {
+			a.Suggestions = append(a.Suggestions, s)
+		}
+	}
+}
+
+// mpmdForFunc analyzes one function's CU graph. Only true (RAW) dependence
+// edges constrain execution order; anti- and output dependences are
+// resolvable by renaming, which the user confirms (Section 3.4).
+func (a *Analysis) mpmdForFunc(f *ir.Func) *Suggestion {
+	var cus []*cu.CU
+	idx := map[*cu.CU]int{}
+	for _, c := range a.Graph.CUs {
+		if c.Func == f {
+			idx[c] = len(cus)
+			cus = append(cus, c)
+		}
+	}
+	if len(cus) < 2 {
+		return nil
+	}
+	g := graph.New(len(cus))
+	g.Weight = make([]float64, len(cus))
+	for i, c := range cus {
+		g.Weight[i] = c.Weight + 1
+	}
+	for _, e := range a.Graph.Edges {
+		if e.Type != profiler.RAW {
+			continue
+		}
+		fi, ok1 := idx[e.From]
+		ti, ok2 := idx[e.To]
+		if !ok1 || !ok2 || fi == ti {
+			continue
+		}
+		// Dependence edge: sink depends on source, so source must run
+		// first: edge source -> sink in execution order.
+		g.AddEdge(ti, fi)
+	}
+	// Figure 4.5: contract SCCs, then chains.
+	dag, comp := g.Condense()
+	contracted, chainOf := dag.ContractChains()
+	if contracted.N < 2 {
+		return nil
+	}
+	// Concurrency: the maximum number of contracted vertices at the same
+	// dependence level.
+	levels := levelize(contracted)
+	width := 0
+	for _, l := range levels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	if width < 2 {
+		return nil
+	}
+	// Materialize task groups: CUs per contracted vertex.
+	groups := make([][]*cu.CU, contracted.N)
+	for v, c := range cus {
+		groups[chainOf[comp[v]]] = append(groups[chainOf[comp[v]]], c)
+		_ = v
+	}
+	for _, grp := range groups {
+		sort.Slice(grp, func(i, j int) bool { return grp[i].ID < grp[j].ID })
+	}
+	var weight float64
+	for _, c := range cus {
+		weight += c.Weight
+	}
+	cp, total := contracted.CriticalPath()
+	s := &Suggestion{
+		Kind:   MPMDTask,
+		Func:   f,
+		Loc:    f.Loc,
+		Tasks:  groups,
+		Weight: weight,
+		Notes: fmt.Sprintf("CU graph of %s contracts to %d tasks (width %d, work/critical-path %.2f)",
+			f.Name, contracted.N, width, safeDiv(total, cp)),
+	}
+	s.LocalSpeedup = safeDiv(total, cp)
+	return s
+}
+
+// levelize assigns each DAG vertex its longest-path-from-source level.
+func levelize(g *graph.Graph) [][]int {
+	order, ok := g.Topo()
+	if !ok {
+		return nil
+	}
+	level := make([]int, g.N)
+	maxLevel := 0
+	for _, v := range order {
+		for _, p := range g.Preds(v) {
+			if level[p]+1 > level[v] {
+				level[v] = level[p] + 1
+			}
+		}
+		if level[v] > maxLevel {
+			maxLevel = level[v]
+		}
+	}
+	out := make([][]int, maxLevel+1)
+	for v := 0; v < g.N; v++ {
+		out[level[v]] = append(out[level[v]], v)
+	}
+	return out
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return a / b
+}
+
+// RecursiveTaskFuncs finds functions containing at least two recursive
+// call sites with no true dependence between the call-site lines — the
+// Fibonacci pattern of Figure 4.3 and the BOTS benchmarks. Independence is
+// checked at line granularity so that call sites sharing a CU (fib's two
+// calls form one read-compute-write unit) are still recognized as
+// separable tasks.
+func (a *Analysis) RecursiveTaskFuncs() []*Suggestion {
+	var out []*Suggestion
+	for _, f := range a.Mod.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		// Recursive call sites: direct recursion or recursion through one
+		// level of mutual calls.
+		var sites []ir.Loc
+		seen := map[ir.Loc]bool{}
+		ir.Walk(f.Body, func(s ir.Stmt) {
+			countCall := func(c *ir.CallExpr) {
+				if c.Callee == f && !seen[s.Location()] {
+					seen[s.Location()] = true
+					sites = append(sites, s.Location())
+				}
+			}
+			switch n := s.(type) {
+			case *ir.CallStmt:
+				countCall(n.Call)
+			case *ir.Spawn:
+				countCall(n.Call)
+			case *ir.Assign:
+				ir.WalkExprs(n.Src, func(e ir.Expr) {
+					if c, ok := e.(*ir.CallExpr); ok {
+						countCall(c)
+					}
+				})
+			}
+		})
+		if len(sites) < 2 {
+			continue
+		}
+		// The call sites must be mutually independent: no non-carried RAW
+		// dependence between the lines (carried dependences separate
+		// recursion instances, not sibling tasks).
+		dep := false
+		in := map[ir.Loc]bool{}
+		for _, l := range sites {
+			in[l] = true
+		}
+		for d := range a.Res.Deps {
+			if d.Type == profiler.RAW && !d.Carried && d.Sink != d.Source &&
+				in[d.Sink] && in[d.Source] {
+				dep = true
+				break
+			}
+		}
+		if dep {
+			continue
+		}
+		tasks := make([][]*cu.CU, 0, len(sites))
+		for _, l := range sites {
+			if u := a.Graph.CUAt(l); u != nil {
+				tasks = append(tasks, []*cu.CU{u})
+			} else {
+				tasks = append(tasks, nil)
+			}
+		}
+		out = append(out, &Suggestion{
+			Kind:  SPMDTask,
+			Func:  f,
+			Loc:   f.Loc,
+			Tasks: tasks,
+			Notes: fmt.Sprintf("%d independent recursive calls in %s: spawn as tasks", len(sites), f.Name),
+		})
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"discopop/internal/ir"
+	"discopop/internal/profiler"
+)
+
+// This file turns loop suggestions into concrete OpenMP-style pragmas by
+// classifying every variable global to the loop into the data-sharing
+// clause that makes the parallelization safe — the actionable form in
+// which DiscoPoP reports loop parallelism to users. Anti- and output
+// dependences are resolved by privatization (name dependences, Section
+// 1.2.1); recognized reductions get reduction clauses.
+
+// ClauseKind is an OpenMP data-sharing classification.
+type ClauseKind uint8
+
+// Clause kinds.
+const (
+	// ClauseShared: concurrent accesses are disjoint (e.g. arrays indexed
+	// by the iteration variable) or read-only.
+	ClauseShared ClauseKind = iota
+	// ClausePrivate: each iteration writes the variable before reading
+	// it, so a per-thread copy resolves the carried WAR/WAW dependences.
+	ClausePrivate
+	// ClauseFirstPrivate: as private, but the first read can precede the
+	// first write, so the copy must be value-initialized.
+	ClauseFirstPrivate
+	// ClauseReduction: carried RAW resolved by a commutative reduction.
+	ClauseReduction
+)
+
+func (k ClauseKind) String() string {
+	switch k {
+	case ClauseShared:
+		return "shared"
+	case ClausePrivate:
+		return "private"
+	case ClauseFirstPrivate:
+		return "firstprivate"
+	default:
+		return "reduction"
+	}
+}
+
+// Clause is one classified variable.
+type Clause struct {
+	Var  *ir.Var
+	Kind ClauseKind
+	// Op is the reduction operator for ClauseReduction.
+	Op ir.BinOp
+}
+
+// Classify returns the data-sharing clauses for a parallelizable loop
+// suggestion, or nil if the suggestion is not a loop.
+func (a *Analysis) Classify(s *Suggestion) []Clause {
+	if s.Region == nil {
+		return nil
+	}
+	r := s.Region
+	rs := a.Scope.Of(r)
+	reds := FindReductions(a.Scope, r)
+	redOf := map[*ir.Var]ir.BinOp{}
+	for _, red := range reds {
+		redOf[red.Var] = red.Op
+	}
+	redVars := map[*ir.Var]bool{}
+	for _, v := range s.Reductions {
+		redVars[v] = true
+	}
+
+	// Per variable, collect whether the loop carries WAR/WAW (needs
+	// privatization) and whether a read can precede the first write in an
+	// iteration (needs firstprivate).
+	carriedName := map[int32]bool{}
+	carriedFlow := map[int32]bool{}
+	for d := range a.Res.Deps {
+		if !d.Carried || d.CarriedBy != int32(r.ID) {
+			continue
+		}
+		switch d.Type {
+		case profiler.WAR, profiler.WAW:
+			carriedName[d.Var] = true
+		case profiler.RAW:
+			carriedFlow[d.Var] = true
+		}
+	}
+	var out []Clause
+	var indVar *ir.Var
+	if f, ok := r.Stmt.(*ir.For); ok {
+		indVar = f.IndVar
+	}
+	for _, v := range rs.GlobalVars {
+		if v == indVar {
+			continue // the loop index is private by construction
+		}
+		id := int32(v.ID)
+		switch {
+		case redVars[v]:
+			out = append(out, Clause{Var: v, Kind: ClauseReduction, Op: redOf[v]})
+		case carriedFlow[id]:
+			// A remaining carried flow dependence: only legal if it was
+			// filtered as reduction; otherwise the loop is not DOALL and
+			// classification is moot. Report as reduction if the pattern
+			// matches, else shared (caller should not parallelize).
+			if op, ok := redOf[v]; ok {
+				out = append(out, Clause{Var: v, Kind: ClauseReduction, Op: op})
+			} else {
+				out = append(out, Clause{Var: v, Kind: ClauseShared})
+			}
+		case carriedName[id] && v.IsArray():
+			// Arrays with carried anti/output deps on distinct elements
+			// written per iteration would be privatized per-element in
+			// C; whole-array copies are wasteful, but for scalars-only
+			// models we mark the array private.
+			out = append(out, Clause{Var: v, Kind: ClausePrivate})
+		case carriedName[id]:
+			if readsBeforeWrite(a.Scope, r, v) {
+				out = append(out, Clause{Var: v, Kind: ClauseFirstPrivate})
+			} else {
+				out = append(out, Clause{Var: v, Kind: ClausePrivate})
+			}
+		default:
+			out = append(out, Clause{Var: v, Kind: ClauseShared})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Var.ID < out[j].Var.ID })
+	return out
+}
+
+// readsBeforeWrite reports whether, scanning the loop body in program
+// order, v can be read before it is first written in an iteration.
+func readsBeforeWrite(sc *ir.Scope, r *ir.Region, v *ir.Var) bool {
+	written := false
+	for _, item := range sc.Sequence(r) {
+		if item.Child != nil {
+			// Conservatively assume nested regions may read first.
+			childUses := sc.Of(item.Child).Uses[v]
+			if childUses && !written {
+				return true
+			}
+			continue
+		}
+		for _, acc := range item.Accs {
+			if acc.Var != v {
+				continue
+			}
+			if acc.Write {
+				written = true
+			} else if !written {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Pragma renders an OpenMP-style parallelization directive for a loop
+// suggestion, e.g.
+//
+//	#pragma omp parallel for private(x) reduction(+:sum)
+func (a *Analysis) Pragma(s *Suggestion) string {
+	if s.Region == nil {
+		return ""
+	}
+	switch s.Kind {
+	case DOALL, DOALLReduction, SPMDTask:
+	default:
+		return "" // not parallelizable as a loop
+	}
+	clauses := a.Classify(s)
+	var private, first []string
+	redByOp := map[string][]string{}
+	for _, c := range clauses {
+		switch c.Kind {
+		case ClausePrivate:
+			private = append(private, c.Var.Name)
+		case ClauseFirstPrivate:
+			first = append(first, c.Var.Name)
+		case ClauseReduction:
+			redByOp[c.Op.String()] = append(redByOp[c.Op.String()], c.Var.Name)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("#pragma omp parallel for")
+	if len(private) > 0 {
+		fmt.Fprintf(&sb, " private(%s)", strings.Join(private, ","))
+	}
+	if len(first) > 0 {
+		fmt.Fprintf(&sb, " firstprivate(%s)", strings.Join(first, ","))
+	}
+	var ops []string
+	for op := range redByOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Fprintf(&sb, " reduction(%s:%s)", op, strings.Join(redByOp[op], ","))
+	}
+	return sb.String()
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import "testing"
+
+// These smoke tests pin the headline numbers of the evaluation: if a
+// refactoring regresses detection quality or breaks an experiment, the
+// failure shows up here rather than only in a bench run.
+
+func TestTable4_1Recall(t *testing.T) {
+	r := Table4_1(1)
+	if rec := r.Mean("recall"); rec < 90 {
+		t.Fatalf("NAS loop recall = %.1f%%, want >= 90%% (paper: 92.5%%)", rec)
+	}
+	if fp := r.Mean("false_pos"); fp > 0 {
+		t.Fatalf("NAS false positives = %.1f, want 0", fp)
+	}
+}
+
+func TestTable4_4AllHotLoopsCorrect(t *testing.T) {
+	r := Table4_4(1)
+	if m := r.Mean("match"); m < 0.99 {
+		t.Fatalf("hot-loop classification rate = %.2f, want 1.0", m)
+	}
+}
+
+func TestTable4_6AllDecisionsCorrect(t *testing.T) {
+	r := Table4_6(1)
+	if m := r.Mean("correct"); m < 0.99 {
+		t.Fatalf("BOTS decision rate = %.2f, want 1.0 (paper: 20/20)", m)
+	}
+}
+
+func TestTable4_7AllAppsExposeTasks(t *testing.T) {
+	r := Table4_7(1)
+	if m := r.Mean("found"); m < 0.99 {
+		t.Fatalf("MPMD structure found rate = %.2f, want 1.0", m)
+	}
+}
+
+func TestTable2_7SkipRateNearPaper(t *testing.T) {
+	r := Table2_7(1)
+	total := r.Mean("total_pct")
+	if total < 60 || total > 95 {
+		t.Fatalf("skip rate = %.1f%%, want in [60, 95] (paper: 80.06%%)", total)
+	}
+}
+
+func TestFig2_13FTHasWAW(t *testing.T) {
+	r := Fig2_13(1)
+	for _, row := range r.Rows {
+		if row.Label == "FT" && row.Cells["waw"] <= 0 {
+			t.Fatalf("FT's dummy-variable WAW share missing (Figure 2.14)")
+		}
+	}
+}
+
+func TestFig4_11CurveShape(t *testing.T) {
+	r := Fig4_11(1)
+	var prev float64
+	var at32 float64
+	for _, row := range r.Rows {
+		sp := row.Cells["speedup"]
+		if sp < prev-1e-9 {
+			t.Fatalf("FaceDetection curve not monotone: %v", r.Rows)
+		}
+		prev = sp
+		if row.Label == "32" {
+			at32 = sp
+		}
+	}
+	if at32 < 6 || at32 > 16 {
+		t.Fatalf("speedup@32 = %.2f, want in [6, 16] (paper: 9.92)", at32)
+	}
+}
+
+func TestTable4_2AverageSpeedup(t *testing.T) {
+	r := Table4_2(1, 4)
+	if avg := r.Mean("speedup"); avg < 2 {
+		t.Fatalf("textbook average speedup = %.2f, want >= 2 on 4 threads", avg)
+	}
+}
+
+func TestTable4_5BlockOpportunity(t *testing.T) {
+	r := Table4_5(1, 4)
+	if sp := r.Mean("speedup"); sp < 1.3 {
+		t.Fatalf("compressor speedup = %.2f, want >= 1.3", sp)
+	}
+}
+
+func TestTable5Scores(t *testing.T) {
+	r := Table5_2_5_3(1)
+	for _, row := range r.Rows {
+		if row.Label == "score:all" {
+			if row.Cells["f1"] < 0.8 {
+				t.Fatalf("classifier F1 = %.3f, want >= 0.8", row.Cells["f1"])
+			}
+		}
+	}
+}
+
+func TestTable5_4TransactionsDerived(t *testing.T) {
+	r := Table5_4(1)
+	total := 0.0
+	for _, row := range r.Rows {
+		total += row.Cells["transactions"]
+	}
+	if total == 0 {
+		t.Fatal("no STM transactions derived from any NAS benchmark")
+	}
+}
+
+func TestTable2_6Trend(t *testing.T) {
+	r := Table2_6(1, []int{1 << 10, 1 << 20})
+	small := r.Mean("fpr@1024")
+	large := r.Mean("fpr@1048576")
+	if large >= small {
+		t.Fatalf("FPR did not fall with slots: %.1f%% -> %.1f%%", small, large)
+	}
+	if fnr := r.Mean("fnr@1048576"); fnr > 1 {
+		t.Fatalf("FNR at 1M slots = %.2f%%, want ~0", fnr)
+	}
+}
+
+func TestFig5_1CrossThreadCommunication(t *testing.T) {
+	r := Fig5_1(1)
+	for _, row := range r.Rows {
+		if row.Cells["cross_thread"] <= 0 {
+			t.Fatalf("%s: no cross-thread communication", row.Label)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package features
+
+import (
+	"math"
+	"sort"
+)
+
+// Stump is a one-level decision tree: predict +1 if x[Feature] <= Threshold
+// (or >, depending on Polarity), else -1.
+type Stump struct {
+	Feature   int
+	Threshold float64
+	Polarity  int // +1: (x <= thr) => positive; -1: (x > thr) => positive
+	Alpha     float64
+}
+
+// Predict returns +1 (DOALL) or -1.
+func (s *Stump) Predict(x Vector) int {
+	le := x[s.Feature] <= s.Threshold
+	if (le && s.Polarity > 0) || (!le && s.Polarity < 0) {
+		return 1
+	}
+	return -1
+}
+
+// Ensemble is an AdaBoost.M1 ensemble of stumps.
+type Ensemble struct {
+	Stumps []Stump
+}
+
+// Predict returns the weighted-majority label.
+func (e *Ensemble) Predict(x Vector) bool {
+	var score float64
+	for i := range e.Stumps {
+		score += e.Stumps[i].Alpha * float64(e.Stumps[i].Predict(x))
+	}
+	return score > 0
+}
+
+// Importance returns per-feature importance: the weighted error reduction
+// contributed by stumps on that feature, normalized to sum to 1
+// (Table 5.2's "weighted error reduction in an AdaBoost ensemble").
+func (e *Ensemble) Importance() []float64 {
+	imp := make([]float64, len(Names))
+	var total float64
+	for i := range e.Stumps {
+		imp[e.Stumps[i].Feature] += e.Stumps[i].Alpha
+		total += e.Stumps[i].Alpha
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// Train fits an AdaBoost ensemble with the given number of rounds.
+func Train(samples []Sample, rounds int) *Ensemble {
+	n := len(samples)
+	if n == 0 {
+		return &Ensemble{}
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	y := make([]int, n)
+	for i, s := range samples {
+		if s.DOALL {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	ens := &Ensemble{}
+	for round := 0; round < rounds; round++ {
+		stump, err := bestStump(samples, y, w)
+		if err >= 0.5 || err < 0 {
+			break
+		}
+		eps := math.Max(err, 1e-9)
+		alpha := 0.5 * math.Log((1-eps)/eps)
+		stump.Alpha = alpha
+		// Reweight.
+		var sum float64
+		for i := range w {
+			pred := stump.Predict(samples[i].X)
+			w[i] *= math.Exp(-alpha * float64(y[i]) * float64(pred))
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		ens.Stumps = append(ens.Stumps, stump)
+		if eps < 1e-8 {
+			break // perfectly separated
+		}
+	}
+	return ens
+}
+
+// bestStump exhaustively searches thresholds per feature for the stump
+// with minimal weighted error.
+func bestStump(samples []Sample, y []int, w []float64) (Stump, float64) {
+	best := Stump{}
+	bestErr := math.Inf(1)
+	for f := 0; f < len(Names); f++ {
+		vals := make([]float64, len(samples))
+		for i, s := range samples {
+			vals[i] = s.X[f]
+		}
+		sorted := append([]float64{}, vals...)
+		sort.Float64s(sorted)
+		var thresholds []float64
+		for i := 0; i < len(sorted); i++ {
+			if i == 0 || sorted[i] != sorted[i-1] {
+				thresholds = append(thresholds, sorted[i])
+			}
+		}
+		for _, thr := range thresholds {
+			for _, pol := range []int{1, -1} {
+				var err float64
+				for i := range samples {
+					s := Stump{Feature: f, Threshold: thr, Polarity: pol}
+					if s.Predict(samples[i].X) != y[i] {
+						err += w[i]
+					}
+				}
+				if err < bestErr {
+					bestErr = err
+					best = Stump{Feature: f, Threshold: thr, Polarity: pol}
+				}
+			}
+		}
+	}
+	return best, bestErr
+}
+
+// Scores holds binary-classification quality metrics.
+type Scores struct {
+	N         int
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Evaluate scores the ensemble on a sample set.
+func Evaluate(e *Ensemble, samples []Sample) Scores {
+	var tp, fp, fn, correct int
+	for _, s := range samples {
+		pred := e.Predict(s.X)
+		if pred == s.DOALL {
+			correct++
+		}
+		switch {
+		case pred && s.DOALL:
+			tp++
+		case pred && !s.DOALL:
+			fp++
+		case !pred && s.DOALL:
+			fn++
+		}
+	}
+	sc := Scores{N: len(samples)}
+	if len(samples) > 0 {
+		sc.Accuracy = float64(correct) / float64(len(samples))
+	}
+	if tp+fp > 0 {
+		sc.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		sc.Recall = float64(tp) / float64(tp+fn)
+	}
+	if sc.Precision+sc.Recall > 0 {
+		sc.F1 = 2 * sc.Precision * sc.Recall / (sc.Precision + sc.Recall)
+	}
+	return sc
+}
+
+// Split deterministically partitions samples into train and held-out
+// evaluation sets (every k-th sample held out).
+func Split(samples []Sample, k int) (train, eval []Sample) {
+	for i, s := range samples {
+		if k > 0 && i%k == k-1 {
+			eval = append(eval, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	return train, eval
+}

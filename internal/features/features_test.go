@@ -1,0 +1,193 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"discopop/internal/ir"
+	"discopop/internal/profiler"
+	"discopop/internal/workloads"
+)
+
+func extractFor(t *testing.T, name string) ([]Sample, *workloads.Program) {
+	t.Helper()
+	prog := workloads.MustBuild(name, 1)
+	res := profiler.Profile(prog.M, profiler.Options{Store: profiler.StorePerfect})
+	sc := ir.AnalyzeScopes(prog.M)
+	return Extract(prog.M, sc, res), prog
+}
+
+func TestExtractProducesVectors(t *testing.T) {
+	samples, prog := extractFor(t, "CG")
+	if len(samples) == 0 {
+		t.Fatal("no samples extracted")
+	}
+	// Every executed loop of the module yields one sample.
+	executed := 0
+	for _, r := range prog.M.Regions {
+		if r.Kind == ir.RLoop {
+			executed++
+		}
+	}
+	if len(samples) > executed {
+		t.Fatalf("more samples (%d) than loops (%d)", len(samples), executed)
+	}
+	for _, s := range samples {
+		if s.X[0] <= 0 {
+			t.Errorf("loop %v: zero iterations feature", s.Loop)
+		}
+		if s.X[2] < 0 || s.X[2] > 1 {
+			t.Errorf("loop %v: coverage %f outside [0,1]", s.Loop, s.X[2])
+		}
+		for i, v := range s.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("loop %v: feature %s is %f", s.Loop, Names[i], v)
+			}
+		}
+	}
+}
+
+func TestCarriedRAWFeatureSeparates(t *testing.T) {
+	// prefix-sum's hot loop must show carried RAW; rgbyuv's must not.
+	seqSamples, seqProg := extractFor(t, "prefix-sum")
+	var seqHot, parHot *Sample
+	for i := range seqSamples {
+		if seqSamples[i].Loop == seqProg.Truth.Hot {
+			seqHot = &seqSamples[i]
+		}
+	}
+	parSamples, parProg := extractFor(t, "rgbyuv")
+	for i := range parSamples {
+		if parSamples[i].Loop == parProg.Truth.Hot {
+			parHot = &parSamples[i]
+		}
+	}
+	if seqHot == nil || parHot == nil {
+		t.Fatal("hot loops not extracted")
+	}
+	if seqHot.X[3] == 0 {
+		t.Error("prefix-sum hot loop shows no carried RAW feature")
+	}
+	if parHot.X[3] != 0 {
+		t.Error("rgbyuv hot loop shows carried RAW feature")
+	}
+}
+
+func TestStumpPredict(t *testing.T) {
+	s := Stump{Feature: 3, Threshold: 0.5, Polarity: 1}
+	var lo, hi Vector
+	lo[3], hi[3] = 0, 1
+	if s.Predict(lo) != 1 || s.Predict(hi) != -1 {
+		t.Fatal("stump polarity broken")
+	}
+	s.Polarity = -1
+	if s.Predict(lo) != -1 || s.Predict(hi) != 1 {
+		t.Fatal("reversed stump polarity broken")
+	}
+}
+
+// TestAdaBoostLearnsSeparableData: a linearly separable synthetic set must
+// be classified perfectly.
+func TestAdaBoostLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var samples []Sample
+	for i := 0; i < 200; i++ {
+		var s Sample
+		s.DOALL = i%2 == 0
+		// Feature 3 (carried RAW) separates: 0 for DOALL, >0 otherwise.
+		if s.DOALL {
+			s.X[3] = 0
+		} else {
+			s.X[3] = 1 + rng.Float64()*5
+		}
+		s.X[0] = rng.Float64() * 100 // noise features
+		s.X[6] = rng.Float64()
+		samples = append(samples, s)
+	}
+	ens := Train(samples, 10)
+	sc := Evaluate(ens, samples)
+	if sc.Accuracy != 1 {
+		t.Fatalf("separable data accuracy = %f, want 1", sc.Accuracy)
+	}
+	// The separating feature must dominate the importance ranking
+	// (Table 5.2's analysis).
+	imp := ens.Importance()
+	best := 0
+	for i, v := range imp {
+		if v > imp[best] {
+			best = i
+		}
+	}
+	if best != 3 {
+		t.Fatalf("most important feature = %s, want carried_raw", Names[best])
+	}
+}
+
+// TestAdaBoostNoisyData: with label noise the ensemble still beats
+// chance comfortably.
+func TestAdaBoostNoisyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var samples []Sample
+	for i := 0; i < 400; i++ {
+		var s Sample
+		doall := rng.Intn(2) == 0
+		s.DOALL = doall
+		if rng.Float64() < 0.1 {
+			s.DOALL = !s.DOALL // 10% label noise
+		}
+		if doall {
+			s.X[3] = 0
+			s.X[9] = float64(rng.Intn(2))
+		} else {
+			s.X[3] = float64(1 + rng.Intn(4))
+		}
+		s.X[0] = rng.Float64() * 50
+		samples = append(samples, s)
+	}
+	train, eval := Split(samples, 4)
+	ens := Train(train, 30)
+	sc := Evaluate(ens, eval)
+	if sc.Accuracy < 0.75 {
+		t.Fatalf("noisy accuracy = %f, want >= 0.75", sc.Accuracy)
+	}
+}
+
+func TestSplitDeterministicAndComplete(t *testing.T) {
+	samples := make([]Sample, 17)
+	train, eval := Split(samples, 4)
+	if len(train)+len(eval) != 17 {
+		t.Fatalf("split lost samples: %d + %d", len(train), len(eval))
+	}
+	if len(eval) != 4 {
+		t.Fatalf("held-out size = %d, want 4", len(eval))
+	}
+}
+
+func TestImportanceSumsToOne(t *testing.T) {
+	samples, _ := extractFor(t, "kmeans")
+	doall := map[*ir.Region]bool{}
+	Label(samples, doall, map[*ir.Region]bool{})
+	// Give at least one positive label so training is non-degenerate.
+	if len(samples) > 0 {
+		samples[0].DOALL = true
+	}
+	ens := Train(samples, 20)
+	if len(ens.Stumps) == 0 {
+		t.Skip("degenerate training set")
+	}
+	var sum float64
+	for _, v := range ens.Importance() {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %f", sum)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	sc := Evaluate(&Ensemble{}, nil)
+	if sc.N != 0 || sc.Accuracy != 0 {
+		t.Fatalf("empty evaluation = %+v", sc)
+	}
+}

@@ -1,0 +1,437 @@
+// Package interp executes IR modules and emits the instrumentation event
+// stream that Phase 1 of the framework consumes: one event per memory
+// access, control-region entry/exit, loop iteration, function call, variable
+// allocation/deallocation, and synchronization operation. It plays the role
+// of the instrumented binary plus libDiscoPoP runtime of Section 1.5.
+//
+// Running with a nil Tracer is the "uninstrumented" baseline against which
+// profiling slowdown is measured; the interpreter's own cost cancels out of
+// the slowdown ratio exactly as native execution time does in the paper.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"discopop/internal/ir"
+)
+
+// LoopFrame is one level of the active loop-nest stack at the time of an
+// access: the loop region and its current iteration number. The profiler
+// uses it to classify dependences as loop-carried.
+type LoopFrame struct {
+	Region int32
+	Iter   int64
+}
+
+// Access describes one dynamic memory access.
+type Access struct {
+	Addr   uint64
+	Loc    ir.Loc
+	Var    *ir.Var
+	Op     int32 // static memory-operation ID (Section 2.4's accessInfo)
+	Thread int32
+	TS     uint64 // global logical timestamp
+	// Loops is the active loop-nest stack, innermost last. The slice is
+	// reused between events; tracers must copy it if they retain it.
+	Loops []LoopFrame
+}
+
+// Tracer receives the instrumentation event stream. Methods are called
+// synchronously in execution order (the simulated-thread scheduler
+// serializes all threads onto one event stream, so cross-thread event order
+// matches the simulated happens-before order).
+type Tracer interface {
+	Load(a Access)
+	Store(a Access)
+	EnterRegion(r *ir.Region, tid int32)
+	ExitRegion(r *ir.Region, iters int64, instrs int64, tid int32)
+	LoopIter(r *ir.Region, iter int64, tid int32)
+	EnterFunc(f *ir.Func, callLoc ir.Loc, tid int32)
+	ExitFunc(f *ir.Func, instrs int64, tid int32)
+	BindVar(v *ir.Var, base uint64, elems int, tid int32)
+	FreeVar(v *ir.Var, base uint64, elems int, tid int32)
+	Lock(id int, tid int32)
+	Unlock(id int, tid int32)
+	ThreadStart(tid, parent int32)
+	ThreadEnd(tid int32)
+}
+
+// BaseTracer is a no-op Tracer that other tracers may embed to implement
+// only the events they care about.
+type BaseTracer struct{}
+
+// Load implements Tracer.
+func (BaseTracer) Load(Access) {}
+
+// Store implements Tracer.
+func (BaseTracer) Store(Access) {}
+
+// EnterRegion implements Tracer.
+func (BaseTracer) EnterRegion(*ir.Region, int32) {}
+
+// ExitRegion implements Tracer.
+func (BaseTracer) ExitRegion(*ir.Region, int64, int64, int32) {}
+
+// LoopIter implements Tracer.
+func (BaseTracer) LoopIter(*ir.Region, int64, int32) {}
+
+// EnterFunc implements Tracer.
+func (BaseTracer) EnterFunc(*ir.Func, ir.Loc, int32) {}
+
+// ExitFunc implements Tracer.
+func (BaseTracer) ExitFunc(*ir.Func, int64, int32) {}
+
+// BindVar implements Tracer.
+func (BaseTracer) BindVar(*ir.Var, uint64, int, int32) {}
+
+// FreeVar implements Tracer.
+func (BaseTracer) FreeVar(*ir.Var, uint64, int, int32) {}
+
+// Lock implements Tracer.
+func (BaseTracer) Lock(int, int32) {}
+
+// Unlock implements Tracer.
+func (BaseTracer) Unlock(int, int32) {}
+
+// ThreadStart implements Tracer.
+func (BaseTracer) ThreadStart(int32, int32) {}
+
+// ThreadEnd implements Tracer.
+func (BaseTracer) ThreadEnd(int32) {}
+
+// MaxThreads is the maximum number of simulated threads per execution.
+const MaxThreads = 64
+
+const (
+	maxThreads = MaxThreads
+	stackElems = 1 << 16
+	maxIters   = int64(1) << 40
+)
+
+// PrepareOps assigns static memory-operation IDs (Section 2.4's accessInfo
+// identities) to every Ref of the module, returning the number of
+// operations. The numbering is deterministic, so repeated calls are
+// idempotent. Loop headers use dedicated negative IDs derived from their
+// region, handled by the interpreter directly.
+func PrepareOps(m *ir.Module) int32 {
+	var next int32
+	assign := func(e ir.Expr) {
+		ir.WalkExprs(e, func(x ir.Expr) {
+			if r, ok := x.(*ir.Ref); ok {
+				next++
+				r.Op = next
+			}
+		})
+	}
+	for _, f := range m.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		ir.Walk(f.Body, func(s ir.Stmt) {
+			if a, ok := s.(*ir.Assign); ok {
+				next++
+				a.Dst.Op = next
+				if a.Dst.Index != nil {
+					assign(a.Dst.Index)
+				}
+				assign(a.Src)
+				return
+			}
+			ir.StmtExprs(s, assign)
+		})
+	}
+	return next
+}
+
+// Interp executes one module. Create with New, run with Run. An Interp is
+// single-use.
+type Interp struct {
+	mod    *ir.Module
+	tracer Tracer
+
+	mem        []float64
+	globalBase map[*ir.Var]uint64
+	heapBase   uint64
+	heapNext   uint64
+	freeLists  map[int][]uint64 // size -> reusable heap bases
+
+	mainT    *thread
+	spawned  []*thread
+	nextTID  int32
+	nthreads int
+	mt       bool // true while spawned threads are live
+	mutexes  map[int]int32
+
+	ts     uint64
+	rng    uint64
+	nextOp int32
+
+	// Stats
+	Instrs  int64 // total leaf statements executed
+	Loads   int64
+	Stores  int64
+	MaxHeap uint64
+}
+
+// New creates an interpreter for module m reporting events to t (nil for an
+// uninstrumented run).
+func New(m *ir.Module, t Tracer) *Interp {
+	it := &Interp{
+		mod:        m,
+		tracer:     t,
+		globalBase: map[*ir.Var]uint64{},
+		freeLists:  map[int][]uint64{},
+		mutexes:    map[int]int32{},
+		rng:        0x2545F4914F6CDD1D,
+	}
+	// Layout: [1, globals...][thread stacks][heap...). Address 0 is unused
+	// so that 0 can mean "no address".
+	next := uint64(1)
+	for _, v := range m.Vars {
+		if v.Kind == ir.KGlobal {
+			it.globalBase[v] = next
+			next += uint64(v.Elems)
+		}
+	}
+	stacksBase := next
+	it.heapBase = stacksBase + maxThreads*stackElems
+	it.heapNext = it.heapBase
+	it.mem = make([]float64, it.heapBase)
+	it.nextOp = PrepareOps(m)
+	_ = stacksBase
+	return it
+}
+
+// NumOps returns the number of static memory operations in the module.
+func (it *Interp) NumOps() int32 { return it.nextOp }
+
+func (it *Interp) rand() float64 {
+	// xorshift64*
+	it.rng ^= it.rng >> 12
+	it.rng ^= it.rng << 25
+	it.rng ^= it.rng >> 27
+	return float64(it.rng*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+}
+
+// Run executes the module's entry function to completion and returns the
+// total number of leaf statements executed.
+func (it *Interp) Run() int64 {
+	if it.mod.Main == nil {
+		panic("interp: module has no entry function")
+	}
+	main := it.newThread(0, -1)
+	it.mainT = main
+	it.nextTID = 1
+	it.execThread(main, it.mod.Main, nil)
+	// Drain any threads the program forgot to join.
+	for it.mt {
+		if !it.runRound() && it.mt {
+			panic("interp: deadlock after main exit")
+		}
+	}
+	return it.Instrs
+}
+
+// heapAlloc reserves n elements on the simulated heap, reusing freed blocks
+// of the same size so that addresses get recycled (the hazard the variable
+// lifetime analysis of Section 2.3.5 guards against).
+func (it *Interp) heapAlloc(n int) uint64 {
+	if lst := it.freeLists[n]; len(lst) > 0 {
+		base := lst[len(lst)-1]
+		it.freeLists[n] = lst[:len(lst)-1]
+		return base
+	}
+	base := it.heapNext
+	it.heapNext += uint64(n)
+	for uint64(len(it.mem)) < it.heapNext {
+		it.mem = append(it.mem, make([]float64, it.heapNext-uint64(len(it.mem)))...)
+	}
+	if it.heapNext-it.heapBase > it.MaxHeap {
+		it.MaxHeap = it.heapNext - it.heapBase
+	}
+	return base
+}
+
+func (it *Interp) heapFree(base uint64, n int) {
+	it.freeLists[n] = append(it.freeLists[n], base)
+}
+
+// Panicf aborts interpretation with a formatted runtime error.
+func (it *Interp) panicf(format string, args ...any) {
+	panic(fmt.Sprintf("interp: "+format, args...))
+}
+
+func (it *Interp) load(t *thread, addr uint64, loc ir.Loc, v *ir.Var, op int32) float64 {
+	it.Loads++
+	if it.tracer != nil {
+		it.ts++
+		it.tracer.Load(Access{Addr: addr, Loc: loc, Var: v, Op: op,
+			Thread: t.id, TS: it.ts, Loops: t.loops})
+	}
+	if addr >= uint64(len(it.mem)) {
+		it.panicf("load out of range: %s[%d] at %s", v.Name, addr, loc)
+	}
+	return it.mem[addr]
+}
+
+func (it *Interp) store(t *thread, addr uint64, val float64, loc ir.Loc, v *ir.Var, op int32) {
+	it.Stores++
+	if it.tracer != nil {
+		it.ts++
+		it.tracer.Store(Access{Addr: addr, Loc: loc, Var: v, Op: op,
+			Thread: t.id, TS: it.ts, Loops: t.loops})
+	}
+	if addr >= uint64(len(it.mem)) {
+		it.panicf("store out of range: %s[%d] at %s", v.Name, addr, loc)
+	}
+	it.mem[addr] = val
+}
+
+// addrOf resolves the base address of variable v in thread t's top frame.
+func (it *Interp) addrOf(t *thread, v *ir.Var) uint64 {
+	if v.Kind == ir.KGlobal {
+		return it.globalBase[v]
+	}
+	fr := t.top()
+	a, ok := fr.env[v]
+	if !ok {
+		it.panicf("unbound variable %s in %s", v.Name, fr.fn.Name)
+	}
+	return a
+}
+
+// elemAddr resolves the address of ref (scalar or indexed), evaluating and
+// tracing the index expression.
+func (it *Interp) elemAddr(t *thread, r *ir.Ref, loc ir.Loc) uint64 {
+	base := it.addrOf(t, r.Var)
+	if r.Index == nil {
+		return base
+	}
+	idx := int64(it.eval(t, r.Index, loc))
+	if idx < 0 || idx >= int64(r.Var.Elems) {
+		it.panicf("index %d out of range for %s[%d] at %s", idx, r.Var.Name, r.Var.Elems, loc)
+	}
+	return base + uint64(idx)
+}
+
+// eval evaluates an expression. All access events inherit loc, the location
+// of the enclosing statement, matching the paper's line-level dependences.
+func (it *Interp) eval(t *thread, e ir.Expr, loc ir.Loc) float64 {
+	switch n := e.(type) {
+	case *ir.Const:
+		return n.Val
+	case *ir.Ref:
+		addr := it.elemAddr(t, n, loc)
+		return it.load(t, addr, loc, n.Var, n.Op)
+	case *ir.Bin:
+		l := it.eval(t, n.L, loc)
+		// Short-circuit logical operators.
+		switch n.Op {
+		case ir.OpLAnd:
+			if l == 0 {
+				return 0
+			}
+			return b2f(it.eval(t, n.R, loc) != 0)
+		case ir.OpLOr:
+			if l != 0 {
+				return 1
+			}
+			return b2f(it.eval(t, n.R, loc) != 0)
+		}
+		r := it.eval(t, n.R, loc)
+		return binEval(n.Op, l, r)
+	case *ir.Un:
+		x := it.eval(t, n.X, loc)
+		return unEval(n.Op, x)
+	case *ir.Rand:
+		return it.rand()
+	case *ir.CallExpr:
+		return it.call(t, n, loc)
+	}
+	it.panicf("unknown expression %T", e)
+	return 0
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func binEval(op ir.BinOp, l, r float64) float64 {
+	switch op {
+	case ir.OpAdd:
+		return l + r
+	case ir.OpSub:
+		return l - r
+	case ir.OpMul:
+		return l * r
+	case ir.OpDiv:
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	case ir.OpMod:
+		ir2 := int64(r)
+		if ir2 == 0 {
+			return 0
+		}
+		return float64(int64(l) % ir2)
+	case ir.OpAnd:
+		return float64(int64(l) & int64(r))
+	case ir.OpOr:
+		return float64(int64(l) | int64(r))
+	case ir.OpXor:
+		return float64(int64(l) ^ int64(r))
+	case ir.OpShl:
+		return float64(int64(l) << (uint64(r) & 63))
+	case ir.OpShr:
+		return float64(int64(l) >> (uint64(r) & 63))
+	case ir.OpLt:
+		return b2f(l < r)
+	case ir.OpLe:
+		return b2f(l <= r)
+	case ir.OpGt:
+		return b2f(l > r)
+	case ir.OpGe:
+		return b2f(l >= r)
+	case ir.OpEq:
+		return b2f(l == r)
+	case ir.OpNe:
+		return b2f(l != r)
+	case ir.OpMin:
+		return math.Min(l, r)
+	case ir.OpMax:
+		return math.Max(l, r)
+	}
+	return 0
+}
+
+func unEval(op ir.UnOp, x float64) float64 {
+	switch op {
+	case ir.OpNeg:
+		return -x
+	case ir.OpNot:
+		return b2f(x == 0)
+	case ir.OpSqrt:
+		return math.Sqrt(math.Abs(x))
+	case ir.OpSin:
+		return math.Sin(x)
+	case ir.OpCos:
+		return math.Cos(x)
+	case ir.OpExp:
+		return math.Exp(x)
+	case ir.OpLog:
+		if x <= 0 {
+			return 0
+		}
+		return math.Log(x)
+	case ir.OpAbs:
+		return math.Abs(x)
+	case ir.OpFloor:
+		return math.Floor(x)
+	}
+	return 0
+}

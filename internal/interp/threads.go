@@ -1,0 +1,168 @@
+package interp
+
+import (
+	"discopop/internal/ir"
+)
+
+// This file implements the simulated-thread machinery. Threads created by
+// Spawn statements run as goroutines that are granted the execution token
+// one statement at a time, round-robin, so that multi-threaded target
+// programs (Section 2.3.4) execute with a deterministic, finely interleaved
+// schedule and a single serialized event stream. The main thread acts as
+// the scheduler: at each of its own statement boundaries it grants every
+// other live thread one statement.
+
+type frame struct {
+	fn       *ir.Func
+	env      map[*ir.Var]uint64
+	ret      float64
+	returned bool
+	spSave   uint64
+	bound    []*ir.Var // locals and by-value params to free on exit
+}
+
+type thread struct {
+	id       int32
+	parent   int32
+	frames   []*frame
+	loops    []LoopFrame
+	stack    uint64 // base of this thread's stack segment
+	sp       uint64
+	resume   chan struct{}
+	yield    chan struct{}
+	done     bool
+	blocked  func() bool // non-nil while waiting; true when runnable again
+	children int
+	parentT  *thread
+}
+
+func (t *thread) top() *frame { return t.frames[len(t.frames)-1] }
+
+func (it *Interp) stacksBase() uint64 { return it.heapBase - maxThreads*stackElems }
+
+func (it *Interp) newThread(id, parent int32) *thread {
+	t := &thread{
+		id:     id,
+		parent: parent,
+		stack:  it.stacksBase() + uint64(id)*stackElems,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	t.sp = t.stack
+	return t
+}
+
+// argVal is an evaluated call argument: either a scalar value or an aliased
+// base address for by-reference parameters.
+type argVal struct {
+	val   float64
+	base  uint64
+	byRef bool
+	elems int
+}
+
+// yieldPoint is called after every executed leaf statement. With a single
+// live thread it is (nearly) free, so sequential programs run at full
+// speed; in multi-threaded mode the main thread runs one scheduling round
+// and spawned threads hand the token back.
+func (it *Interp) yieldPoint(t *thread) {
+	if !it.mt {
+		return
+	}
+	if t == it.mainT {
+		it.runRound()
+		return
+	}
+	t.yield <- struct{}{}
+	<-t.resume
+}
+
+// runRound grants every live spawned thread one statement. It reports
+// whether any thread made progress.
+func (it *Interp) runRound() bool {
+	progressed := false
+	for i := 0; i < len(it.spawned); i++ {
+		t := it.spawned[i]
+		if t.done {
+			continue
+		}
+		if t.blocked != nil && !t.blocked() {
+			continue
+		}
+		t.resume <- struct{}{}
+		<-t.yield
+		progressed = true
+	}
+	// Compact finished threads away occasionally.
+	if len(it.spawned) > 0 && allDone(it.spawned) {
+		it.spawned = it.spawned[:0]
+		it.mt = false
+	}
+	return progressed
+}
+
+func allDone(ts []*thread) bool {
+	for _, t := range ts {
+		if !t.done {
+			return false
+		}
+	}
+	return true
+}
+
+// block parks t until cond() becomes true.
+func (it *Interp) block(t *thread, cond func() bool) {
+	if t == it.mainT {
+		for !cond() {
+			if !it.mt || !it.runRound() {
+				panic("interp: deadlock: main thread blocked with no runnable peers")
+			}
+		}
+		return
+	}
+	for !cond() {
+		t.blocked = cond
+		t.yield <- struct{}{}
+		<-t.resume
+		t.blocked = nil
+	}
+}
+
+// startSpawned launches a new simulated thread executing call. The
+// arguments are evaluated by the parent, so their reads are attributed to
+// the spawning thread, as with pthread_create argument marshalling.
+func (it *Interp) startSpawned(parent *thread, call *ir.CallExpr, loc ir.Loc) {
+	args := it.evalArgs(parent, call, loc)
+	id := it.nextTID
+	it.nextTID++
+	if id >= maxThreads {
+		it.panicf("too many threads (max %d)", maxThreads)
+	}
+	child := it.newThread(id, parent.id)
+	child.parentT = parent
+	parent.children++
+	it.mt = true
+	it.spawned = append(it.spawned, child)
+	go func() {
+		<-child.resume
+		it.execThread(child, call.Callee, args)
+		child.yield <- struct{}{}
+	}()
+}
+
+// execThread runs fn to completion on t.
+func (it *Interp) execThread(t *thread, fn *ir.Func, args []argVal) {
+	it.nthreads++
+	if it.tracer != nil {
+		it.tracer.ThreadStart(t.id, t.parent)
+	}
+	it.callFunc(t, fn, args, fn.Loc)
+	t.done = true
+	it.nthreads--
+	if t.parentT != nil {
+		t.parentT.children--
+	}
+	if it.tracer != nil {
+		it.tracer.ThreadEnd(t.id)
+	}
+}

@@ -1,0 +1,137 @@
+package ir
+
+// This file lowers the structured AST to a basic-block control-flow graph.
+// The CFG is the input of the control-dependence analyses of Section 3.2.2:
+// finding re-convergence points of branches and loops via post-dominators,
+// and the dynamic look-ahead variant that simulates the paper's
+// binary-level analysis.
+
+// BBKind classifies basic blocks.
+type BBKind uint8
+
+const (
+	// BBPlain is a straight-line block.
+	BBPlain BBKind = iota
+	// BBBranch ends in a two-way conditional branch (if).
+	BBBranch
+	// BBLoopHead is a loop header testing the loop condition.
+	BBLoopHead
+	// BBEntry is the function entry block.
+	BBEntry
+	// BBExit is the unique function exit block.
+	BBExit
+)
+
+// BB is a basic block of the lowered CFG.
+type BB struct {
+	ID    int
+	Kind  BBKind
+	Loc   Loc
+	Stmts []Stmt
+	Succs []*BB
+	Preds []*BB
+	// Region is the innermost region the block belongs to.
+	Region *Region
+}
+
+// CFG is the control-flow graph of one function.
+type CFG struct {
+	Fn     *Func
+	Blocks []*BB
+	Entry  *BB
+	Exit   *BB
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+}
+
+func (cb *cfgBuilder) newBB(kind BBKind, loc Loc, region *Region) *BB {
+	b := &BB{ID: len(cb.cfg.Blocks), Kind: kind, Loc: loc, Region: region}
+	cb.cfg.Blocks = append(cb.cfg.Blocks, b)
+	return b
+}
+
+func link(from, to *BB) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// BuildCFG lowers function f to a CFG. Every path reaches the unique exit
+// block; Return statements branch to it directly.
+func BuildCFG(f *Func) *CFG {
+	cb := &cfgBuilder{cfg: &CFG{Fn: f}}
+	entry := cb.newBB(BBEntry, f.Loc, f.Region)
+	exit := cb.newBB(BBExit, f.EndLoc, f.Region)
+	cb.cfg.Entry = entry
+	cb.cfg.Exit = exit
+	last := cb.lowerBlock(f.Body, entry, exit, f.Region)
+	if last != nil {
+		link(last, exit)
+	}
+	return cb.cfg
+}
+
+// lowerBlock lowers the statements of blk starting in cur. It returns the
+// block control falls out of, or nil if the tail is unreachable (ends in
+// return).
+func (cb *cfgBuilder) lowerBlock(blk *BlockStmt, cur, exit *BB, region *Region) *BB {
+	for _, s := range blk.List {
+		if cur == nil {
+			return nil
+		}
+		switch n := s.(type) {
+		case *If:
+			head := cur
+			head.Stmts = append(head.Stmts, s)
+			head.Kind = BBBranch
+			join := cb.newBB(BBPlain, n.Region.End, region)
+			thenEntry := cb.newBB(BBPlain, n.Then.Loc, n.Region)
+			link(head, thenEntry)
+			if thenLast := cb.lowerBlock(n.Then, thenEntry, exit, n.Region); thenLast != nil {
+				link(thenLast, join)
+			}
+			if n.Else != nil {
+				elseEntry := cb.newBB(BBPlain, n.Else.Loc, n.Region)
+				link(head, elseEntry)
+				if elseLast := cb.lowerBlock(n.Else, elseEntry, exit, n.Region); elseLast != nil {
+					link(elseLast, join)
+				}
+			} else {
+				link(head, join)
+			}
+			cur = join
+		case *For:
+			cur = cb.lowerLoop(s, n.Region, n.Body, cur, exit, region, n.Loc, n.EndLoc)
+		case *While:
+			cur = cb.lowerLoop(s, n.Region, n.Body, cur, exit, region, n.Loc, n.EndLoc)
+		case *Return:
+			cur.Stmts = append(cur.Stmts, s)
+			link(cur, exit)
+			cur = nil
+		case *LockRegion:
+			cur.Stmts = append(cur.Stmts, s)
+			cur = cb.lowerBlock(n.Body, cur, exit, region)
+		case *BlockStmt:
+			cur = cb.lowerBlock(n, cur, exit, region)
+		default:
+			cur.Stmts = append(cur.Stmts, s)
+		}
+	}
+	return cur
+}
+
+func (cb *cfgBuilder) lowerLoop(s Stmt, reg *Region, body *BlockStmt, cur, exit *BB,
+	outer *Region, loc, endLoc Loc) *BB {
+	head := cb.newBB(BBLoopHead, loc, outer)
+	head.Stmts = append(head.Stmts, s)
+	link(cur, head)
+	bodyEntry := cb.newBB(BBPlain, body.Loc, reg)
+	follow := cb.newBB(BBPlain, endLoc, outer)
+	link(head, bodyEntry)
+	link(head, follow)
+	if bodyLast := cb.lowerBlock(body, bodyEntry, exit, reg); bodyLast != nil {
+		link(bodyLast, head)
+	}
+	return follow
+}

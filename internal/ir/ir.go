@@ -1,0 +1,227 @@
+// Package ir defines the intermediate representation used by the DiscoPoP-Go
+// framework. It plays the role LLVM IR plays in the paper: workloads are
+// constructed as modules of functions over scalar and array variables, every
+// statement carries a source location (fileID:line), and control constructs
+// (functions, loops, branches) define the control regions that the profiler,
+// the computational-unit builder, and the discovery algorithms reason about.
+//
+// The representation is a structured three-address-style AST rather than a
+// textual IR; a lowering pass (see cfg.go) produces a basic-block CFG for the
+// control-dependence analyses of Chapter 3.
+package ir
+
+import "fmt"
+
+// Type is the scalar type of a variable. The runtime representation is
+// uniformly float64 (exact for integers below 2^53); the declared type is
+// retained for printing and for the feature extraction of Chapter 5.
+type Type uint8
+
+const (
+	// I64 is a 64-bit integer variable.
+	I64 Type = iota
+	// F64 is a double-precision floating-point variable.
+	F64
+)
+
+func (t Type) String() string {
+	if t == I64 {
+		return "i64"
+	}
+	return "f64"
+}
+
+// Loc is a source-code location, the <fileID:lineID> pair of the paper's
+// dependence representation (Section 2.3.1).
+type Loc struct {
+	File int32
+	Line int32
+}
+
+func (l Loc) String() string { return fmt.Sprintf("%d:%d", l.File, l.Line) }
+
+// Key packs a Loc into a comparable 64-bit key.
+func (l Loc) Key() uint64 { return uint64(uint32(l.File))<<32 | uint64(uint32(l.Line)) }
+
+// LocFromKey unpacks a key produced by Loc.Key.
+func LocFromKey(k uint64) Loc {
+	return Loc{File: int32(k >> 32), Line: int32(uint32(k))}
+}
+
+// VarKind classifies where a variable is declared. The distinction between
+// variables global and local to a region drives CU construction (Section 3.2.1).
+type VarKind uint8
+
+const (
+	// KGlobal is a module-level variable, global to every region.
+	KGlobal VarKind = iota
+	// KParam is a function parameter.
+	KParam
+	// KLocal is a variable declared inside a function or a nested block.
+	KLocal
+)
+
+func (k VarKind) String() string {
+	switch k {
+	case KGlobal:
+		return "global"
+	case KParam:
+		return "param"
+	default:
+		return "local"
+	}
+}
+
+// Var is a named storage location: a scalar (Elems == 1) or a contiguous
+// array of Elems scalars. Vars are the unit of the paper's variable lifetime
+// analysis and of the globalVars sets used in Algorithm 3.
+type Var struct {
+	ID      int // module-unique
+	Name    string
+	Kind    VarKind
+	Type    Type
+	Elems   int  // number of scalar elements; 1 for scalars
+	ByValue bool // for params: passed by value (copied) vs by reference
+	Heap    bool // allocated on the simulated heap (explicit Free possible)
+	Decl    Loc
+	// DeclRegion is the region in whose body the variable is declared
+	// (nil for module globals).
+	DeclRegion *Region
+	// Func is the function owning the variable (nil for module globals).
+	Func *Func
+}
+
+func (v *Var) String() string { return v.Name }
+
+// IsArray reports whether v has more than one element.
+func (v *Var) IsArray() bool { return v.Elems > 1 }
+
+// RegionKind classifies control regions (Section 2.3.6).
+type RegionKind uint8
+
+const (
+	// RFunc is a function body region.
+	RFunc RegionKind = iota
+	// RLoop is a loop body region (for or while).
+	RLoop
+	// RBranch is an if/else region.
+	RBranch
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RFunc:
+		return "function"
+	case RLoop:
+		return "loop"
+	default:
+		return "branch"
+	}
+}
+
+// Region is a single-entry control region: a function body, a loop, or a
+// branch. Regions nest; CUs never cross region boundaries (Section 3.1).
+type Region struct {
+	ID       int
+	Kind     RegionKind
+	Start    Loc
+	End      Loc
+	Parent   *Region
+	Children []*Region
+	Func     *Func
+	// Stmt is the defining statement: *For or *While for RLoop, *If for
+	// RBranch, nil for RFunc.
+	Stmt Stmt
+}
+
+func (r *Region) String() string {
+	return fmt.Sprintf("%s %s-%s", r.Kind, r.Start, r.End)
+}
+
+// Encloses reports whether r (strictly or not) encloses s.
+func (r *Region) Encloses(s *Region) bool {
+	for ; s != nil; s = s.Parent {
+		if s == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Depth returns the nesting depth of the region (function body = 0).
+func (r *Region) Depth() int {
+	d := 0
+	for p := r.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Func is a function definition.
+type Func struct {
+	ID     int
+	Name   string
+	Params []*Var
+	HasRet bool
+	RetTyp Type
+	Body   *BlockStmt
+	Loc    Loc
+	EndLoc Loc
+	Region *Region
+	Module *Module
+	// Locals lists every local declared anywhere in the function, in
+	// declaration order, for frame allocation by the interpreter.
+	Locals []*Var
+}
+
+func (f *Func) String() string { return f.Name }
+
+// Module is the top-level IR container, mirroring an LLVM module.
+type Module struct {
+	Name    string
+	Files   []string
+	Funcs   []*Func
+	Globals []*Var
+	Regions []*Region // all regions, indexed by Region.ID
+	Vars    []*Var    // all vars, indexed by Var.ID
+	// Main is the entry function.
+	Main *Func
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (m *Module) FuncByName(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Loops returns every loop region of the module, in region-ID order.
+func (m *Module) Loops() []*Region {
+	var out []*Region
+	for _, r := range m.Regions {
+		if r.Kind == RLoop {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RegionAt returns the innermost region whose [Start,End] line span of the
+// same file contains loc, or nil.
+func (m *Module) RegionAt(loc Loc) *Region {
+	var best *Region
+	for _, r := range m.Regions {
+		if r.Start.File != loc.File {
+			continue
+		}
+		if r.Start.Line <= loc.Line && loc.Line <= r.End.Line {
+			if best == nil || best.Encloses(r) {
+				best = r
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in a human-readable pseudo-C form, one statement
+// per line, annotated with <fileID:lineID> locations. It is the equivalent
+// of an LLVM assembly dump for this IR.
+func Print(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global %s %s[%d]\n", g.Type, g.Name, g.Elems)
+	}
+	for _, f := range m.Funcs {
+		printFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+func printFunc(sb *strings.Builder, f *Func) {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		mode := "byref"
+		if p.ByValue {
+			mode = "byval"
+		}
+		params[i] = fmt.Sprintf("%s %s %s", p.Type, mode, p.Name)
+	}
+	fmt.Fprintf(sb, "\n%s func %s(%s) {\n", f.Loc, f.Name, strings.Join(params, ", "))
+	printBlock(sb, f.Body, 1)
+	fmt.Fprintf(sb, "%s }\n", f.EndLoc)
+}
+
+func printBlock(sb *strings.Builder, b *BlockStmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, v := range b.Decls {
+		kind := ""
+		if v.Heap {
+			kind = " heap"
+		}
+		fmt.Fprintf(sb, "%s %svar%s %s %s[%d]\n", v.Decl, ind, kind, v.Type, v.Name, v.Elems)
+	}
+	for _, s := range b.List {
+		printStmt(sb, s, depth)
+	}
+}
+
+func printStmt(sb *strings.Builder, s Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch n := s.(type) {
+	case *Assign:
+		fmt.Fprintf(sb, "%s %s%s = %s\n", n.Loc, ind, ExprString(n.Dst), ExprString(n.Src))
+	case *If:
+		fmt.Fprintf(sb, "%s %sif %s {\n", n.Loc, ind, ExprString(n.Cond))
+		printBlock(sb, n.Then, depth+1)
+		if n.Else != nil {
+			fmt.Fprintf(sb, "%s %s} else {\n", n.Else.Loc, ind)
+			printBlock(sb, n.Else, depth+1)
+		}
+		fmt.Fprintf(sb, "%s %s}\n", n.Region.End, ind)
+	case *For:
+		fmt.Fprintf(sb, "%s %sfor %s = %s; %s < %s; %s += %s {\n", n.Loc, ind,
+			n.IndVar.Name, ExprString(n.From), n.IndVar.Name, ExprString(n.To),
+			n.IndVar.Name, ExprString(n.Step))
+		printBlock(sb, n.Body, depth+1)
+		fmt.Fprintf(sb, "%s %s}\n", n.EndLoc, ind)
+	case *While:
+		fmt.Fprintf(sb, "%s %swhile %s {\n", n.Loc, ind, ExprString(n.Cond))
+		printBlock(sb, n.Body, depth+1)
+		fmt.Fprintf(sb, "%s %s}\n", n.EndLoc, ind)
+	case *CallStmt:
+		fmt.Fprintf(sb, "%s %s%s\n", n.Loc, ind, ExprString(n.Call))
+	case *Return:
+		if n.Val != nil {
+			fmt.Fprintf(sb, "%s %sreturn %s\n", n.Loc, ind, ExprString(n.Val))
+		} else {
+			fmt.Fprintf(sb, "%s %sreturn\n", n.Loc, ind)
+		}
+	case *Spawn:
+		fmt.Fprintf(sb, "%s %sspawn %s\n", n.Loc, ind, ExprString(n.Call))
+	case *Sync:
+		fmt.Fprintf(sb, "%s %ssync\n", n.Loc, ind)
+	case *LockRegion:
+		fmt.Fprintf(sb, "%s %slock(%d) {\n", n.Loc, ind, n.MutexID)
+		printBlock(sb, n.Body, depth+1)
+		fmt.Fprintf(sb, "%s %s}\n", n.Loc, ind)
+	case *Free:
+		fmt.Fprintf(sb, "%s %sfree(%s)\n", n.Loc, ind, n.Var.Name)
+	case *BlockStmt:
+		printBlock(sb, n, depth)
+	}
+}
+
+// ExprString renders an expression.
+func ExprString(e Expr) string {
+	switch n := e.(type) {
+	case *Const:
+		if n.Typ == I64 {
+			return fmt.Sprintf("%d", int64(n.Val))
+		}
+		return fmt.Sprintf("%g", n.Val)
+	case *Ref:
+		if n.Index == nil {
+			return n.Var.Name
+		}
+		return fmt.Sprintf("%s[%s]", n.Var.Name, ExprString(n.Index))
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", ExprString(n.L), n.Op, ExprString(n.R))
+	case *Un:
+		return fmt.Sprintf("%s(%s)", n.Op, ExprString(n.X))
+	case *Rand:
+		return "rand()"
+	case *CallExpr:
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", n.Callee.Name, strings.Join(args, ", "))
+	}
+	return "?"
+}

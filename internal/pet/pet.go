@@ -1,0 +1,321 @@
+// Package pet builds the Program Execution Tree of Section 2.3.6: a tree
+// with function, loop, and block nodes connected by "calling" and
+// "containing" edges, each node annotated with metrics (executed IR
+// statements, loop iteration counts, dependence counts) used for parallel
+// pattern detection and for ranking parallelization opportunities.
+package pet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"discopop/internal/interp"
+	"discopop/internal/ir"
+)
+
+// NodeKind classifies PET nodes.
+type NodeKind uint8
+
+const (
+	// NFunc is a function node (incoming edges are "calling" edges).
+	NFunc NodeKind = iota
+	// NLoop is a loop node with an iteration counter.
+	NLoop
+	// NBlock is a leaf block of code without control-flow constructs.
+	NBlock
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NFunc:
+		return "func"
+	case NLoop:
+		return "loop"
+	default:
+		return "block"
+	}
+}
+
+// EdgeKind classifies PET edges.
+type EdgeKind uint8
+
+const (
+	// ECall is a "calling" edge (function invokes function).
+	ECall EdgeKind = iota
+	// EContain is a "containing" edge (region contains region/block).
+	EContain
+)
+
+// Node is one PET node. A node represents the aggregation of all dynamic
+// instances of the same static construct within the same parent, the same
+// way the profiler merges dependences of multiple region instances.
+type Node struct {
+	ID       int
+	Kind     NodeKind
+	Func     *ir.Func   // for NFunc
+	Region   *ir.Region // for NLoop
+	Loc      ir.Loc
+	Parent   *Node
+	EdgeIn   EdgeKind
+	Children []*Node
+
+	// Metrics.
+	Entries int64 // times this construct was entered
+	Iters   int64 // loop iterations (NLoop)
+	Instrs  int64 // inclusive executed IR statements
+	Deps    int64 // dependences whose sink lies in this construct's span
+}
+
+// Tree is a complete PET.
+type Tree struct {
+	Root  *Node
+	Nodes []*Node
+	// TotalInstrs is the total number of executed IR statements, the
+	// denominator of instruction coverage (Section 4.3.1).
+	TotalInstrs int64
+}
+
+// Coverage returns the fraction of all executed instructions spent in n
+// (inclusive).
+func (t *Tree) Coverage(n *Node) float64 {
+	if t.TotalInstrs == 0 {
+		return 0
+	}
+	return float64(n.Instrs) / float64(t.TotalInstrs)
+}
+
+// NodeForRegion returns the first PET node for the given region, or nil.
+func (t *Tree) NodeForRegion(r *ir.Region) *Node {
+	for _, n := range t.Nodes {
+		if n.Region == r {
+			return n
+		}
+	}
+	return nil
+}
+
+// Builder is an interp.Tracer that constructs the PET during execution.
+type Builder struct {
+	interp.BaseTracer
+	tree  *Tree
+	stack [][]*Node // per-thread construct stack
+}
+
+// NewBuilder returns a PET-building tracer.
+func NewBuilder() *Builder {
+	root := &Node{ID: 0, Kind: NFunc}
+	b := &Builder{tree: &Tree{Root: root, Nodes: []*Node{root}}}
+	b.stack = make([][]*Node, interp.MaxThreads)
+	for i := range b.stack {
+		b.stack[i] = []*Node{root}
+	}
+	return b
+}
+
+func (b *Builder) top(tid int32) *Node { s := b.stack[tid]; return s[len(s)-1] }
+
+// child finds or creates the child of parent for the given static
+// construct, merging repeated dynamic instances.
+func (b *Builder) child(parent *Node, kind NodeKind, f *ir.Func, r *ir.Region,
+	loc ir.Loc, ek EdgeKind) *Node {
+	for _, c := range parent.Children {
+		if c.Kind == kind && c.Func == f && c.Region == r {
+			return c
+		}
+	}
+	n := &Node{ID: len(b.tree.Nodes), Kind: kind, Func: f, Region: r, Loc: loc,
+		Parent: parent, EdgeIn: ek}
+	parent.Children = append(parent.Children, n)
+	b.tree.Nodes = append(b.tree.Nodes, n)
+	return n
+}
+
+// EnterFunc implements interp.Tracer.
+func (b *Builder) EnterFunc(f *ir.Func, callLoc ir.Loc, tid int32) {
+	n := b.child(b.top(tid), NFunc, f, nil, f.Loc, ECall)
+	n.Entries++
+	b.stack[tid] = append(b.stack[tid], n)
+}
+
+// ExitFunc implements interp.Tracer.
+func (b *Builder) ExitFunc(f *ir.Func, instrs int64, tid int32) {
+	n := b.top(tid)
+	n.Instrs += instrs
+	b.stack[tid] = b.stack[tid][:len(b.stack[tid])-1]
+}
+
+// EnterRegion implements interp.Tracer.
+func (b *Builder) EnterRegion(r *ir.Region, tid int32) {
+	if r.Kind != ir.RLoop {
+		return // branches contribute to their parent block
+	}
+	n := b.child(b.top(tid), NLoop, nil, r, r.Start, EContain)
+	n.Entries++
+	b.stack[tid] = append(b.stack[tid], n)
+}
+
+// ExitRegion implements interp.Tracer.
+func (b *Builder) ExitRegion(r *ir.Region, iters, instrs int64, tid int32) {
+	if r.Kind != ir.RLoop {
+		return
+	}
+	n := b.top(tid)
+	n.Iters += iters
+	n.Instrs += instrs
+	b.stack[tid] = b.stack[tid][:len(b.stack[tid])-1]
+}
+
+// Tree finalizes and returns the PET.
+func (b *Builder) Tree(totalInstrs int64) *Tree {
+	b.tree.TotalInstrs = totalInstrs
+	b.tree.Root.Instrs = totalInstrs
+	return b.tree
+}
+
+// AttachDeps annotates each node with the number of merged dependences
+// whose sink line falls within the node's static span, producing the
+// "comprehensive tree of dependences" used for pattern detection.
+func (t *Tree) AttachDeps(sinks map[ir.Loc]int64) {
+	for _, n := range t.Nodes {
+		var start, end ir.Loc
+		switch {
+		case n.Kind == NLoop:
+			start, end = n.Region.Start, n.Region.End
+		case n.Kind == NFunc && n.Func != nil:
+			start, end = n.Func.Loc, n.Func.EndLoc
+		default:
+			continue
+		}
+		for loc, c := range sinks {
+			if loc.File == start.File && loc.Line >= start.Line && loc.Line <= end.Line {
+				n.Deps += c
+			}
+		}
+	}
+}
+
+// Render pretty-prints the PET, one node per line, as in Figure 2.6.
+func (t *Tree) Render() string {
+	var sb strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		ind := strings.Repeat("  ", depth)
+		switch n.Kind {
+		case NFunc:
+			name := "<root>"
+			if n.Func != nil {
+				name = n.Func.Name
+			}
+			fmt.Fprintf(&sb, "%s%s %s instrs=%d entries=%d deps=%d\n",
+				ind, n.Kind, name, n.Instrs, n.Entries, n.Deps)
+		case NLoop:
+			fmt.Fprintf(&sb, "%sloop %s iters=%d instrs=%d entries=%d deps=%d\n",
+				ind, n.Loc, n.Iters, n.Instrs, n.Entries, n.Deps)
+		}
+		children := append([]*Node{}, n.Children...)
+		sort.Slice(children, func(i, j int) bool { return children[i].ID < children[j].ID })
+		for _, c := range children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return sb.String()
+}
+
+// Multi composes several tracers into one, so the profiler and the PET
+// builder can observe the same execution.
+type Multi struct {
+	Tracers []interp.Tracer
+}
+
+// Load implements interp.Tracer.
+func (m *Multi) Load(a interp.Access) {
+	for _, t := range m.Tracers {
+		t.Load(a)
+	}
+}
+
+// Store implements interp.Tracer.
+func (m *Multi) Store(a interp.Access) {
+	for _, t := range m.Tracers {
+		t.Store(a)
+	}
+}
+
+// EnterRegion implements interp.Tracer.
+func (m *Multi) EnterRegion(r *ir.Region, tid int32) {
+	for _, t := range m.Tracers {
+		t.EnterRegion(r, tid)
+	}
+}
+
+// ExitRegion implements interp.Tracer.
+func (m *Multi) ExitRegion(r *ir.Region, iters, instrs int64, tid int32) {
+	for _, t := range m.Tracers {
+		t.ExitRegion(r, iters, instrs, tid)
+	}
+}
+
+// LoopIter implements interp.Tracer.
+func (m *Multi) LoopIter(r *ir.Region, iter int64, tid int32) {
+	for _, t := range m.Tracers {
+		t.LoopIter(r, iter, tid)
+	}
+}
+
+// EnterFunc implements interp.Tracer.
+func (m *Multi) EnterFunc(f *ir.Func, callLoc ir.Loc, tid int32) {
+	for _, t := range m.Tracers {
+		t.EnterFunc(f, callLoc, tid)
+	}
+}
+
+// ExitFunc implements interp.Tracer.
+func (m *Multi) ExitFunc(f *ir.Func, instrs int64, tid int32) {
+	for _, t := range m.Tracers {
+		t.ExitFunc(f, instrs, tid)
+	}
+}
+
+// BindVar implements interp.Tracer.
+func (m *Multi) BindVar(v *ir.Var, base uint64, elems int, tid int32) {
+	for _, t := range m.Tracers {
+		t.BindVar(v, base, elems, tid)
+	}
+}
+
+// FreeVar implements interp.Tracer.
+func (m *Multi) FreeVar(v *ir.Var, base uint64, elems int, tid int32) {
+	for _, t := range m.Tracers {
+		t.FreeVar(v, base, elems, tid)
+	}
+}
+
+// Lock implements interp.Tracer.
+func (m *Multi) Lock(id int, tid int32) {
+	for _, t := range m.Tracers {
+		t.Lock(id, tid)
+	}
+}
+
+// Unlock implements interp.Tracer.
+func (m *Multi) Unlock(id int, tid int32) {
+	for _, t := range m.Tracers {
+		t.Unlock(id, tid)
+	}
+}
+
+// ThreadStart implements interp.Tracer.
+func (m *Multi) ThreadStart(tid, parent int32) {
+	for _, t := range m.Tracers {
+		t.ThreadStart(tid, parent)
+	}
+}
+
+// ThreadEnd implements interp.Tracer.
+func (m *Multi) ThreadEnd(tid int32) {
+	for _, t := range m.Tracers {
+		t.ThreadEnd(tid)
+	}
+}

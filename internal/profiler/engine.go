@@ -1,0 +1,288 @@
+package profiler
+
+import (
+	"discopop/internal/ir"
+	"discopop/internal/sig"
+)
+
+// engine executes the signature-based dependence-detection algorithm
+// (Algorithm 2) over a stream of access records. One engine exists per
+// worker thread (or one in total for serial profiling); each owns a read
+// signature, a write signature, and a thread-local dependence map, exactly
+// as in Figure 2.2.
+
+// Access-record kinds.
+const (
+	recLoad uint8 = iota
+	recStore
+	recRemove // variable lifetime analysis: drop status of addr
+	recMigOut // redistribution: extract and clear status of addr
+	recMigIn  // redistribution: install migrated status of addr
+)
+
+// rec is one access record as buffered in chunks and queues.
+type rec struct {
+	addr uint64
+	info uint64 // packed sink location/variable/thread
+	ts   uint64
+	op   int32
+	ctx  int32
+	kind uint8
+	mig  *migration
+}
+
+// migration carries per-address signature state between workers when the
+// load balancer reassigns a hot address (Section 2.3.3).
+type migration struct {
+	read, write sig.Entry
+	done        chan struct{}
+}
+
+// packInfo packs an access's sink identity: file(10) | line(22) | var(16) |
+// thread(8) | 0(8). The file field is always >= 1, so packed info is
+// non-zero and a zero sig.Entry means "empty".
+func packInfo(loc ir.Loc, varID int32, thread int32) uint64 {
+	return uint64(uint32(loc.File))<<54 | uint64(uint32(loc.Line)&0x3FFFFF)<<32 |
+		uint64(uint32(varID)&0xFFFF)<<16 | uint64(uint32(thread)&0xFF)<<8
+}
+
+func unpackLoc(info uint64) ir.Loc {
+	return ir.Loc{File: int32(info >> 54), Line: int32((info >> 32) & 0x3FFFFF)}
+}
+
+func unpackVar(info uint64) int32    { return int32((info >> 16) & 0xFFFF) }
+func unpackThread(info uint64) int16 { return int16((info >> 8) & 0xFF) }
+
+// opSkip is the per-memory-operation state of the skipping optimization:
+// lastAddr plus the lastStatusRead/lastStatusWrite accessInfo values
+// (Section 2.4). The zero value is the "never profiled" initial state,
+// because address 0 is never used by target programs.
+//
+// Beyond the paper's two conditions we also remember how the dependences
+// the operation last built were classified w.r.t. loop carrying
+// (lastRCarry/lastWCarry): our dependence identity includes the carrying
+// loop, which the paper's 3-byte status slots cannot express, so skipping
+// must additionally require that re-profiling would yield the same
+// classification. In steady state the classification is stable, so skip
+// rates are unaffected.
+type opSkip struct {
+	lastAddr   uint64
+	lastR      int32
+	lastW      int32
+	lastRCarry int32
+	lastWCarry int32
+	// lastOrder records whether the read status predated the write status
+	// (re.TS < we.TS): WAW dependences are built only for consecutive
+	// writes, so their existence depends on this order, not just on which
+	// operations the statuses name.
+	lastOrder bool
+}
+
+type engine struct {
+	readS  sig.Store
+	writeS sig.Store
+	deps   map[Dep]int64
+	tab    *ctxTable
+	mt     bool
+
+	// Skip optimization (enabled when ops != nil). Indexing: positive op o
+	// at ops[o]; loop-header ops -k at ops[nPosOps+k].
+	ops     []opSkip
+	nPosOps int32
+	stats   SkipStats
+}
+
+func newEngine(readS, writeS sig.Store, tab *ctxTable, mt bool, skipOps, skipRegions int32) *engine {
+	e := &engine{
+		readS:  readS,
+		writeS: writeS,
+		deps:   make(map[Dep]int64),
+		tab:    tab,
+		mt:     mt,
+	}
+	if skipOps > 0 || skipRegions > 0 {
+		e.nPosOps = skipOps + 1
+		e.ops = make([]opSkip, e.nPosOps+skipRegions+1)
+	}
+	return e
+}
+
+func (e *engine) opIdx(op int32) int32 {
+	if op >= 0 {
+		return op
+	}
+	return e.nPosOps + (-op)
+}
+
+func (e *engine) entry(r *rec) sig.Entry {
+	return sig.Entry{Info: r.info, Ctx: r.ctx, Op: r.op, TS: r.ts}
+}
+
+// addDep builds and merges one dependence with sink taken from r and
+// source from the signature entry src. The dependence's variable is the
+// one accessed at the sink: the sink access knows its variable exactly,
+// whereas the source's identity comes from the (possibly aliased)
+// signature slot — attributing the variable from the sink is what keeps
+// signature false positives bounded by line-pair combinations rather than
+// by colliding address pairs (compare Figure 2.1: "1:65 NOM {WAR
+// 1:67|temp2}" names temp2, the variable written at the 1:65 sink).
+func (e *engine) addDep(t DepType, r *rec, src sig.Entry) {
+	d := Dep{Sink: unpackLoc(r.info), Type: t, Var: -1, SinkThr: -1, SrcThr: -1, CarriedBy: -1}
+	if t != INIT {
+		d.Source = unpackLoc(src.Info)
+		d.Var = unpackVar(r.info)
+		if e.mt {
+			d.SinkThr = unpackThread(r.info)
+			d.SrcThr = unpackThread(src.Info)
+		}
+		carriedRegion, carried := e.tab.carriedBy(r.ctx, src.Ctx)
+		d.Carried = carried
+		if carried {
+			d.CarriedBy = carriedRegion
+		}
+		if r.ts < src.TS {
+			// The sink was observed before its source: the accesses were
+			// not mutually exclusive — a potential data race (§2.3.4).
+			d.Reversed = true
+		}
+	}
+	e.deps[d]++
+}
+
+func (e *engine) process(r *rec) {
+	switch r.kind {
+	case recLoad:
+		e.load(r)
+	case recStore:
+		e.store(r)
+	case recRemove:
+		e.readS.Remove(r.addr)
+		e.writeS.Remove(r.addr)
+	case recMigOut:
+		r.mig.read = e.readS.Get(r.addr)
+		r.mig.write = e.writeS.Get(r.addr)
+		e.readS.Remove(r.addr)
+		e.writeS.Remove(r.addr)
+		close(r.mig.done)
+	case recMigIn:
+		if !r.mig.read.Empty() {
+			e.readS.Put(r.addr, r.mig.read)
+		}
+		if !r.mig.write.Empty() {
+			e.writeS.Put(r.addr, r.mig.write)
+		}
+	}
+}
+
+// load implements the read half of Algorithm 2 plus the skip conditions of
+// Section 2.4: a read is skipped iff its operation's lastAddr matches and
+// the shadow statusRead/statusWrite equal the operation's remembered
+// lastStatusRead/lastStatusWrite.
+func (e *engine) load(r *rec) {
+	e.stats.Reads++
+	we := e.writeS.Get(r.addr)
+	wouldRAW := !we.Empty()
+	if wouldRAW {
+		e.stats.DepReads++
+	}
+	re := e.readS.Get(r.addr)
+	if e.ops != nil {
+		st := &e.ops[e.opIdx(r.op)]
+		wc := e.carryRegion(r.ctx, we.Ctx, !we.Empty())
+		if st.lastAddr == r.addr && st.lastR == re.Op && st.lastW == we.Op &&
+			st.lastWCarry == wc {
+			e.stats.SkippedReads++
+			if wouldRAW {
+				e.stats.SkippedDepReads++
+				e.stats.WouldRAW++
+			}
+			if re.Op == r.op && re.Ctx == r.ctx {
+				// Special case (§2.4.3): the shadow update would be a
+				// no-op re-recording of the same operation in the same
+				// iteration context.
+				e.stats.ShadowSkips++
+				return
+			}
+			e.readS.Put(r.addr, e.entry(r))
+			return
+		}
+		st.lastAddr = r.addr
+		st.lastR = re.Op
+		st.lastW = we.Op
+		st.lastWCarry = wc
+	}
+	if wouldRAW {
+		e.addDep(RAW, r, we)
+	}
+	e.readS.Put(r.addr, e.entry(r))
+}
+
+// carryRegion returns the carrying-loop region of a would-be dependence
+// between the current context and a status entry's context (-1 when not
+// carried or the entry is empty, -2 sentinel never used).
+func (e *engine) carryRegion(cur, src int32, present bool) int32 {
+	if !present {
+		return -1
+	}
+	reg, carried := e.tab.carriedBy(cur, src)
+	if !carried {
+		return -1
+	}
+	return reg
+}
+
+// store implements the write half of Algorithm 2. Following the evaluation
+// setup (Section 2.5.2), a WAW dependence is built only for consecutive
+// writes to the same address, i.e. when no read intervened.
+func (e *engine) store(r *rec) {
+	e.stats.Writes++
+	re := e.readS.Get(r.addr)
+	we := e.writeS.Get(r.addr)
+	wouldWAR := !we.Empty() && !re.Empty()
+	wouldWAW := !we.Empty() && (re.Empty() || re.TS < we.TS)
+	if wouldWAR || wouldWAW {
+		e.stats.DepWrites++
+	}
+	if e.ops != nil {
+		st := &e.ops[e.opIdx(r.op)]
+		rc := e.carryRegion(r.ctx, re.Ctx, !re.Empty())
+		wc := e.carryRegion(r.ctx, we.Ctx, !we.Empty())
+		order := re.TS < we.TS
+		if st.lastAddr == r.addr && st.lastR == re.Op && st.lastW == we.Op &&
+			st.lastRCarry == rc && st.lastWCarry == wc && st.lastOrder == order {
+			e.stats.SkippedWrite++
+			if wouldWAR || wouldWAW {
+				e.stats.SkippedDepWrite++
+			}
+			if wouldWAR {
+				e.stats.WouldWAR++
+			}
+			if wouldWAW {
+				e.stats.WouldWAW++
+			}
+			if we.Op == r.op && we.Ctx == r.ctx {
+				e.stats.ShadowSkips++
+				return
+			}
+			e.writeS.Put(r.addr, e.entry(r))
+			return
+		}
+		st.lastAddr = r.addr
+		st.lastR = re.Op
+		st.lastW = we.Op
+		st.lastRCarry = rc
+		st.lastWCarry = wc
+		st.lastOrder = order
+	}
+	if we.Empty() {
+		e.addDep(INIT, r, we)
+	} else {
+		if wouldWAR {
+			e.addDep(WAR, r, re)
+		}
+		if wouldWAW {
+			e.addDep(WAW, r, we)
+		}
+	}
+	e.writeS.Put(r.addr, e.entry(r))
+}

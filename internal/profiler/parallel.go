@@ -1,0 +1,213 @@
+package profiler
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"discopop/internal/queue"
+)
+
+// parallelPipe implements the producer/consumer architecture of Figure 2.2
+// for sequential target programs: the main (event-producing) thread sorts
+// memory accesses into per-worker chunks — a memory address is owned by
+// exactly one worker so the temporal order per address is preserved — and
+// pushes full chunks into lock-free SPSC queues. Workers run Algorithm 2 on
+// their own signature pair and store dependences in thread-local maps that
+// are merged at the end.
+
+type chunk struct {
+	recs []rec
+}
+
+type pworker struct {
+	id      int
+	q       *queue.SPSC[*chunk]
+	lq      *queue.LockedQueue[*chunk] // lock-based baseline
+	recycle *queue.SPSC[*chunk]
+	eng     *engine
+	done    atomic.Bool
+}
+
+func (w *pworker) pop() (*chunk, bool) {
+	if w.lq != nil {
+		return w.lq.TryPop()
+	}
+	return w.q.TryPop()
+}
+
+func (w *pworker) push(c *chunk) {
+	if w.lq != nil {
+		w.lq.Push(c)
+		return
+	}
+	for !w.q.TryPush(c) {
+		runtime.Gosched()
+	}
+}
+
+type parallelPipe struct {
+	p       *Profiler
+	workers []*pworker
+	cur     []*chunk
+	wg      sync.WaitGroup
+
+	// Load balancing (Section 2.3.3): dynamic access statistics and a
+	// redistribution map that overrides the modulo assignment.
+	counts       map[uint64]int64
+	redist       map[uint64]int
+	chunksPushed int
+	// Rebalances counts performed redistributions (observability).
+	rebalances int
+}
+
+func newParallelPipe(p *Profiler, nOps, nRegions int32) *parallelPipe {
+	w := p.opt.Workers
+	pp := &parallelPipe{
+		p:      p,
+		counts: make(map[uint64]int64),
+		redist: make(map[uint64]int),
+	}
+	for i := 0; i < w; i++ {
+		pw := &pworker{
+			id:      i,
+			recycle: queue.NewSPSC[*chunk](64),
+			eng:     p.newEngine(w, nOps, nRegions),
+		}
+		if p.opt.UseLocked {
+			pw.lq = &queue.LockedQueue[*chunk]{}
+		} else {
+			pw.q = queue.NewSPSC[*chunk](64)
+		}
+		pp.workers = append(pp.workers, pw)
+		pp.cur = append(pp.cur, &chunk{recs: make([]rec, 0, p.opt.ChunkSize)})
+		pp.wg.Add(1)
+		go pp.runWorker(pw)
+	}
+	return pp
+}
+
+func (pp *parallelPipe) runWorker(w *pworker) {
+	defer pp.wg.Done()
+	for {
+		c, ok := w.pop()
+		if !ok {
+			if w.done.Load() {
+				// Drain once more to avoid racing the final flush.
+				if c, ok = w.pop(); !ok {
+					return
+				}
+			} else {
+				runtime.Gosched()
+				continue
+			}
+		}
+		for i := range c.recs {
+			w.eng.process(&c.recs[i])
+		}
+		c.recs = c.recs[:0]
+		w.recycle.TryPush(c) // recycled chunks are reused by the producer
+	}
+}
+
+// owner applies the modulo distribution (Formula 2.1) unless overridden by
+// the redistribution map.
+func (pp *parallelPipe) owner(addr uint64) int {
+	if len(pp.redist) > 0 {
+		if w, ok := pp.redist[addr]; ok {
+			return w
+		}
+	}
+	return int(addr % uint64(len(pp.workers)))
+}
+
+func (pp *parallelPipe) produce(r rec) {
+	if r.kind == recLoad || r.kind == recStore {
+		pp.counts[r.addr]++
+	}
+	w := pp.owner(r.addr)
+	c := pp.cur[w]
+	c.recs = append(c.recs, r)
+	if len(c.recs) == cap(c.recs) {
+		pp.flush(w)
+		if pp.p.opt.RebalanceInterval > 0 && pp.chunksPushed%pp.p.opt.RebalanceInterval == 0 {
+			pp.rebalance()
+		}
+	}
+}
+
+func (pp *parallelPipe) flush(w int) {
+	pw := pp.workers[w]
+	pw.push(pp.cur[w])
+	pp.chunksPushed++
+	// Reuse a recycled chunk when available.
+	if c, ok := pw.recycle.TryPop(); ok {
+		pp.cur[w] = c
+	} else {
+		pp.cur[w] = &chunk{recs: make([]rec, 0, pp.p.opt.ChunkSize)}
+	}
+}
+
+// rebalance checks whether the ten most heavily accessed addresses are
+// evenly distributed over the workers, and migrates them (with their
+// signature state) if not.
+func (pp *parallelPipe) rebalance() {
+	type ac struct {
+		addr uint64
+		n    int64
+	}
+	top := make([]ac, 0, 16)
+	for a, n := range pp.counts {
+		top = append(top, ac{a, n})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].n > top[j].n })
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	w := len(pp.workers)
+	for rank, t := range top {
+		want := rank % w
+		if pp.owner(t.addr) == want {
+			continue
+		}
+		pp.migrate(t.addr, pp.owner(t.addr), want)
+		pp.redist[t.addr] = want
+		pp.rebalances++
+	}
+}
+
+// migrate moves the signature state of addr from worker old to worker new,
+// preserving the temporal order: all already-produced accesses are flushed
+// to the old worker, the state is extracted after the old worker catches
+// up, and only then is it installed at the new owner.
+func (pp *parallelPipe) migrate(addr uint64, oldW, newW int) {
+	if oldW == newW {
+		return
+	}
+	pp.flush(oldW)
+	pp.flush(newW)
+	m := &migration{done: make(chan struct{})}
+	pp.workers[oldW].push(&chunk{recs: []rec{{addr: addr, kind: recMigOut, mig: m}}})
+	<-m.done
+	pp.workers[newW].push(&chunk{recs: []rec{{addr: addr, kind: recMigIn, mig: m}}})
+}
+
+// finish flushes remaining chunks, stops the workers, and returns their
+// engines for merging.
+func (pp *parallelPipe) finish() []*engine {
+	for w := range pp.workers {
+		if len(pp.cur[w].recs) > 0 {
+			pp.flush(w)
+		}
+	}
+	for _, w := range pp.workers {
+		w.done.Store(true)
+	}
+	pp.wg.Wait()
+	engines := make([]*engine, len(pp.workers))
+	for i, w := range pp.workers {
+		engines[i] = w.eng
+	}
+	return engines
+}

@@ -1,0 +1,306 @@
+package profiler
+
+import (
+	"discopop/internal/interp"
+	"discopop/internal/ir"
+	"discopop/internal/sig"
+)
+
+// StoreKind selects the access-status representation.
+type StoreKind uint8
+
+const (
+	// StorePerfect uses the exact per-address table ("perfect signature"):
+	// no false positives or negatives, higher memory cost (Section 2.3.7).
+	StorePerfect StoreKind = iota
+	// StoreSignature uses fixed-size approximate signatures (Section 2.3.2).
+	StoreSignature
+)
+
+// Options configures a profiling run.
+type Options struct {
+	Store StoreKind
+	// Slots is the total number of signature slots, split evenly across
+	// workers and across the read/write signature pair (Section 2.5.2
+	// splits 1.0E+8 total slots over 16 threads the same way).
+	Slots int
+	// Skip enables the loop-skipping optimization of Section 2.4.
+	Skip bool
+	// Workers > 0 enables the parallel pipeline of Section 2.3.3 with that
+	// many worker threads; 0 profiles serially in the event callbacks.
+	Workers int
+	// UseLocked replaces the lock-free queues with mutex-protected ones —
+	// the lock-based baseline of Figure 2.9.
+	UseLocked bool
+	// MT enables the multi-threaded-target pipeline of Section 2.3.4
+	// (per-target-thread producers feeding MPSC worker queues).
+	MT bool
+	// ChunkSize is the number of access records per chunk (default 1024).
+	ChunkSize int
+	// RebalanceInterval is the number of pushed chunks between load
+	// rebalancing checks (default 2000; the paper uses 50000 at its much
+	// larger workload scale). 0 disables redistribution.
+	RebalanceInterval int
+}
+
+func (o *Options) defaults() {
+	if o.ChunkSize == 0 {
+		o.ChunkSize = 1024
+	}
+	if o.Slots == 0 {
+		o.Slots = 1 << 22
+	}
+	if o.RebalanceInterval == 0 {
+		o.RebalanceInterval = 2000
+	}
+}
+
+// Profiler is an interp.Tracer that profiles data dependences. Use New,
+// pass it to interp.New, run the program, then call Result.
+type Profiler struct {
+	interp.BaseTracer
+	mod *ir.Module
+	opt Options
+
+	tab       *ctxTable
+	cur       [interp.MaxThreads]int32
+	loopStack [interp.MaxThreads][]int32
+
+	regions map[int]*RegionExec
+	lines   map[ir.Loc]int64
+	funcs   map[*ir.Func]int64
+	depth   [interp.MaxThreads]int
+	total   int64
+
+	eng *engine // serial mode
+
+	par *parallelPipe // sequential-target parallel mode
+	mtp *mtPipe       // multi-threaded-target mode
+
+	accesses int64
+}
+
+// New creates a profiler for module m. The module's static memory
+// operations are numbered as a side effect.
+func New(m *ir.Module, opt Options) *Profiler {
+	opt.defaults()
+	p := &Profiler{mod: m, opt: opt, tab: &ctxTable{},
+		regions: map[int]*RegionExec{}, lines: map[ir.Loc]int64{},
+		funcs: map[*ir.Func]int64{}}
+	for i := range p.cur {
+		p.cur[i] = -1
+	}
+	nOps := interp.PrepareOps(m)
+	// Loop headers use four synthetic negative op IDs per region.
+	nRegions := 4*int32(len(m.Regions)) + 4
+	switch {
+	case opt.MT:
+		p.mtp = newMTPipe(p, nOps, nRegions)
+	case opt.Workers > 0:
+		p.par = newParallelPipe(p, nOps, nRegions)
+	default:
+		p.eng = p.newEngine(1, nOps, nRegions)
+	}
+	return p
+}
+
+// newEngine builds one worker engine, sizing its signature pair as an
+// equal share of the configured total slots across nshares workers.
+func (p *Profiler) newEngine(nshares int, nOps, nRegions int32) *engine {
+	var rd, wr sig.Store
+	if p.opt.Store == StoreSignature {
+		per := p.opt.Slots / (2 * nshares)
+		if per < 16 {
+			per = 16
+		}
+		rd, wr = sig.NewSignature(per), sig.NewSignature(per)
+	} else {
+		rd, wr = sig.NewPerfect(), sig.NewPerfect()
+	}
+	if !p.opt.Skip {
+		nOps, nRegions = 0, 0
+	}
+	return newEngine(rd, wr, p.tab, p.opt.MT, nOps, nRegions)
+}
+
+// route dispatches one access record to the active pipeline.
+func (p *Profiler) route(r rec) {
+	p.accesses++
+	switch {
+	case p.mtp != nil:
+		p.mtp.produce(r)
+	case p.par != nil:
+		p.par.produce(r)
+	default:
+		p.eng.process(&r)
+	}
+}
+
+// Load implements interp.Tracer.
+func (p *Profiler) Load(a interp.Access) {
+	p.lines[a.Loc]++
+	p.route(rec{
+		addr: a.Addr,
+		info: packInfo(a.Loc, int32(a.Var.ID), a.Thread),
+		ts:   a.TS,
+		op:   a.Op,
+		ctx:  p.cur[a.Thread],
+		kind: recLoad,
+	})
+}
+
+// Store implements interp.Tracer.
+func (p *Profiler) Store(a interp.Access) {
+	p.lines[a.Loc]++
+	p.route(rec{
+		addr: a.Addr,
+		info: packInfo(a.Loc, int32(a.Var.ID), a.Thread),
+		ts:   a.TS,
+		op:   a.Op,
+		ctx:  p.cur[a.Thread],
+		kind: recStore,
+	})
+}
+
+// EnterRegion implements interp.Tracer.
+func (p *Profiler) EnterRegion(r *ir.Region, tid int32) {
+	re := p.regions[r.ID]
+	if re == nil {
+		re = &RegionExec{Region: r}
+		p.regions[r.ID] = re
+	}
+	re.Entries++
+	if r.Kind == ir.RLoop {
+		p.loopStack[tid] = append(p.loopStack[tid], p.cur[tid])
+	}
+}
+
+// LoopIter implements interp.Tracer: it advances the thread's loop context
+// to a fresh (region, iteration) node.
+func (p *Profiler) LoopIter(r *ir.Region, iter int64, tid int32) {
+	ls := p.loopStack[tid]
+	parent := int32(-1)
+	if len(ls) > 0 {
+		parent = ls[len(ls)-1]
+	}
+	p.cur[tid] = p.tab.add(parent, int32(r.ID), iter)
+}
+
+// ExitRegion implements interp.Tracer.
+func (p *Profiler) ExitRegion(r *ir.Region, iters, instrs int64, tid int32) {
+	re := p.regions[r.ID]
+	re.Iters += iters
+	re.Instrs += instrs
+	if r.Kind == ir.RLoop {
+		ls := p.loopStack[tid]
+		p.cur[tid] = ls[len(ls)-1]
+		p.loopStack[tid] = ls[:len(ls)-1]
+	}
+}
+
+// EnterFunc implements interp.Tracer.
+func (p *Profiler) EnterFunc(f *ir.Func, callLoc ir.Loc, tid int32) {
+	p.depth[tid]++
+}
+
+// ExitFunc implements interp.Tracer: per-function inclusive instruction
+// counts feed the instruction-coverage ranking metric.
+func (p *Profiler) ExitFunc(f *ir.Func, instrs int64, tid int32) {
+	p.funcs[f] += instrs
+	p.depth[tid]--
+	if p.depth[tid] == 0 {
+		p.total += instrs
+	}
+}
+
+// FreeVar implements interp.Tracer: the variable lifetime analysis of
+// Section 2.3.5. Dead addresses are removed from the signatures so their
+// slots can be reused without building false dependences.
+func (p *Profiler) FreeVar(v *ir.Var, base uint64, elems int, tid int32) {
+	for i := 0; i < elems; i++ {
+		p.route(rec{addr: base + uint64(i), kind: recRemove})
+	}
+}
+
+// Lock implements interp.Tracer. In MT mode the event stream is flushed so
+// that accesses ordered by the lock are recorded in order (Figure 2.4c).
+func (p *Profiler) Lock(id int, tid int32) {
+	if p.mtp != nil {
+		p.mtp.barrier()
+	}
+}
+
+// Unlock implements interp.Tracer.
+func (p *Profiler) Unlock(id int, tid int32) {
+	if p.mtp != nil {
+		p.mtp.barrier()
+	}
+}
+
+// ThreadEnd implements interp.Tracer.
+func (p *Profiler) ThreadEnd(tid int32) {
+	if p.mtp != nil {
+		p.mtp.barrier()
+	}
+}
+
+// Result terminates the pipeline (if any), merges the thread-local
+// dependence maps into the global map (Figure 2.2), and returns the
+// profiling result.
+func (p *Profiler) Result() *Result {
+	res := &Result{
+		Mod:         p.mod,
+		Deps:        map[Dep]int64{},
+		Regions:     p.regions,
+		Lines:       p.lines,
+		FuncInstrs:  p.funcs,
+		TotalInstrs: p.total,
+		Accesses:    p.accesses,
+	}
+	var engines []*engine
+	switch {
+	case p.mtp != nil:
+		engines = p.mtp.finish()
+	case p.par != nil:
+		engines = p.par.finish()
+	default:
+		engines = []*engine{p.eng}
+	}
+	for _, e := range engines {
+		for d, n := range e.deps {
+			res.Deps[d] += n
+		}
+		res.Skip.add(&e.stats)
+		res.StoreBytes += e.readS.MemBytes() + e.writeS.MemBytes()
+	}
+	for d := range res.Deps {
+		if d.Reversed {
+			res.Races++
+		}
+	}
+	return res
+}
+
+func (s *SkipStats) add(o *SkipStats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.SkippedReads += o.SkippedReads
+	s.SkippedWrite += o.SkippedWrite
+	s.DepReads += o.DepReads
+	s.DepWrites += o.DepWrites
+	s.SkippedDepReads += o.SkippedDepReads
+	s.SkippedDepWrite += o.SkippedDepWrite
+	s.WouldRAW += o.WouldRAW
+	s.WouldWAR += o.WouldWAR
+	s.WouldWAW += o.WouldWAW
+	s.ShadowSkips += o.ShadowSkips
+}
+
+// Profile is a convenience helper: it profiles module m with the given
+// options and returns the result.
+func Profile(m *ir.Module, opt Options) *Result {
+	p := New(m, opt)
+	in := interp.New(m, p)
+	in.Run()
+	return p.Result()
+}

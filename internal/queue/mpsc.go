@@ -1,0 +1,128 @@
+package queue
+
+import "sync/atomic"
+
+const segSize = 256
+
+// mpscSeg is one array node of the MPSC queue's linked list (Figure 2.5).
+// Producers reserve a slot with an atomic fetch-and-add on alloc, write the
+// item, then publish it by setting ready. The consumer walks slots in
+// order, waiting for ready before reading.
+type mpscSeg[T any] struct {
+	items [segSize]T
+	ready [segSize]atomic.Bool
+	alloc atomic.Int64
+	next  atomic.Pointer[mpscSeg[T]]
+}
+
+// MPSC is an unbounded lock-free multiple-producer-single-consumer queue
+// implemented as a linked list of arrays. Fetch-and-add slot reservation is
+// supported directly by the hardware, so producer synchronization overhead
+// is minimal (Section 2.3.4). Consumed segments are dropped and reclaimed
+// by the garbage collector, standing in for the paper's explicit
+// deallocation of drained nodes.
+type MPSC[T any] struct {
+	tail    atomic.Pointer[mpscSeg[T]] // producers' current segment
+	_       pad
+	head    *mpscSeg[T] // consumer-owned
+	headIdx int
+}
+
+// NewMPSC returns an empty MPSC queue.
+func NewMPSC[T any]() *MPSC[T] {
+	s := new(mpscSeg[T])
+	q := new(MPSC[T])
+	q.tail.Store(s)
+	q.head = s
+	return q
+}
+
+// Push enqueues v. Safe for concurrent use by any number of producers.
+func (q *MPSC[T]) Push(v T) {
+	for {
+		s := q.tail.Load()
+		i := s.alloc.Add(1) - 1
+		if i < segSize {
+			s.items[i] = v
+			s.ready[i].Store(true)
+			return
+		}
+		// Segment full: install a fresh one and retry. Whichever producer
+		// wins the CAS appends; everyone then advances the tail.
+		if s.next.Load() == nil {
+			s.next.CompareAndSwap(nil, new(mpscSeg[T]))
+		}
+		q.tail.CompareAndSwap(s, s.next.Load())
+	}
+}
+
+// TryPop dequeues the next item in FIFO-per-slot order, reporting false if
+// none is ready. Must be called from a single consumer goroutine.
+func (q *MPSC[T]) TryPop() (T, bool) {
+	var zero T
+	for {
+		s := q.head
+		if q.headIdx < segSize {
+			if !s.ready[q.headIdx].Load() {
+				return zero, false
+			}
+			v := s.items[q.headIdx]
+			s.items[q.headIdx] = zero
+			q.headIdx++
+			return v, true
+		}
+		next := s.next.Load()
+		if next == nil {
+			return zero, false
+		}
+		q.head = next
+		q.headIdx = 0
+	}
+}
+
+// LockedQueue is a conventional mutex-protected queue used as the
+// lock-based baseline in the Figure 2.9 comparison.
+type LockedQueue[T any] struct {
+	mu    spinMutex
+	items []T
+	head  int
+}
+
+// Push enqueues v.
+func (q *LockedQueue[T]) Push(v T) {
+	q.mu.lock()
+	q.items = append(q.items, v)
+	q.mu.unlock()
+}
+
+// TryPop dequeues an item, reporting false if the queue is empty.
+func (q *LockedQueue[T]) TryPop() (T, bool) {
+	var zero T
+	q.mu.lock()
+	if q.head == len(q.items) {
+		q.mu.unlock()
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.mu.unlock()
+	return v, true
+}
+
+// spinMutex is a test-and-set spin lock: the locking/unlocking cost it
+// models is the contention the lock-free designs eliminate.
+type spinMutex struct {
+	v atomic.Bool
+}
+
+func (m *spinMutex) lock() {
+	for !m.v.CompareAndSwap(false, true) {
+	}
+}
+
+func (m *spinMutex) unlock() { m.v.Store(false) }

@@ -1,0 +1,64 @@
+// Package queue provides the lock-free queues at the heart of the parallel
+// profiler (Sections 2.3.3 and 2.3.4): a single-producer-single-consumer
+// ring used between the main thread and each worker when profiling
+// sequential targets, and a multiple-producer-single-consumer linked list
+// of arrays (with fetch-and-add slot reservation, Figure 2.5) used when
+// profiling multi-threaded targets. A conventional mutex-protected queue is
+// included as the "lock-based" baseline of Figure 2.9.
+package queue
+
+import "sync/atomic"
+
+type pad [64]byte
+
+// SPSC is a bounded lock-free single-producer-single-consumer ring.
+// Synchronization relies solely on the release/acquire ordering of the
+// atomic head/tail indices, mirroring the C++11 memory-order-release /
+// memory-order-acquire design of the paper's profiler.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	_    pad
+	head atomic.Uint64 // next index to pop (consumer-owned)
+	_    pad
+	tail atomic.Uint64 // next index to push (producer-owned)
+	_    pad
+}
+
+// NewSPSC returns an SPSC ring with capacity rounded up to a power of two.
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// TryPush enqueues v, reporting false if the ring is full. Must be called
+// from a single producer goroutine.
+func (q *SPSC[T]) TryPush(v T) bool {
+	t := q.tail.Load()
+	if t-q.head.Load() > q.mask {
+		return false
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1) // release: the consumer's acquire-load sees buf[t]
+	return true
+}
+
+// TryPop dequeues an item, reporting false if the ring is empty. Must be
+// called from a single consumer goroutine.
+func (q *SPSC[T]) TryPop() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return zero, false
+	}
+	v := q.buf[h&q.mask]
+	q.buf[h&q.mask] = zero
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// Len returns the number of buffered items (approximate under concurrency).
+func (q *SPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }

@@ -1,0 +1,219 @@
+// Package sig implements the memory-access status stores of Section 2.3.2:
+// the fixed-size signature (an approximate membership structure borrowed
+// from transactional memory, here with a single hash function so that
+// elements can be removed by the variable lifetime analysis) and the
+// "perfect signature" — an exact per-address table used both as the
+// 100%-accurate profiling mode and as the baseline for measuring the
+// false-positive/false-negative rates of the approximate signature
+// (Table 2.6).
+package sig
+
+import "math"
+
+// Entry is the access status stored per slot: the packed identity of the
+// most recent access (source location, variable, thread, static operation)
+// plus the loop-context ID used to classify loop-carried dependences and
+// the logical timestamp of the access. A zero Info means "empty".
+type Entry struct {
+	Info uint64 // packed by the profiler; 0 = empty
+	Ctx  int32  // loop-context table index (-1 = none)
+	Op   int32  // static memory-operation ID (statusRead/statusWrite of §2.4)
+	TS   uint64 // logical timestamp of the access
+}
+
+// Empty reports whether the entry holds no access.
+func (e Entry) Empty() bool { return e.Info == 0 }
+
+// Store is the common interface of the approximate signature and the
+// perfect signature. A Store keeps one Entry per tracked memory address
+// (approximately, for the signature).
+type Store interface {
+	// Get returns the entry recorded for addr (a zero Entry if none).
+	Get(addr uint64) Entry
+	// Put records e as the latest access status of addr.
+	Put(addr uint64, e Entry)
+	// Remove deletes the status of addr (variable lifetime analysis).
+	Remove(addr uint64)
+	// Clear empties the store.
+	Clear()
+	// MemBytes returns the memory footprint of the store in bytes.
+	MemBytes() int64
+}
+
+// Signature is the approximate store: a fixed-length array addressed by a
+// single hash function. Hash collisions overwrite foreign state, producing
+// the false positives and false negatives quantified in Section 2.5.1.
+// Because there is only one hash function, removal is a single slot clear.
+type Signature struct {
+	slots []Entry
+}
+
+// NewSignature returns a signature with n slots.
+func NewSignature(n int) *Signature {
+	if n <= 0 {
+		panic("sig: signature size must be positive")
+	}
+	return &Signature{slots: make([]Entry, n)}
+}
+
+// Slots returns the number of slots.
+func (s *Signature) Slots() int { return len(s.slots) }
+
+func (s *Signature) idx(addr uint64) int {
+	// Fibonacci multiplicative hashing followed by a modulo so that
+	// arbitrary (non-power-of-two) slot counts such as 1e6/1e7/1e8 from
+	// Table 2.6 are usable.
+	h := addr * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h % uint64(len(s.slots)))
+}
+
+// Get implements Store.
+func (s *Signature) Get(addr uint64) Entry { return s.slots[s.idx(addr)] }
+
+// Put implements Store.
+func (s *Signature) Put(addr uint64, e Entry) { s.slots[s.idx(addr)] = e }
+
+// Remove implements Store.
+func (s *Signature) Remove(addr uint64) { s.slots[s.idx(addr)] = Entry{} }
+
+// Clear implements Store.
+func (s *Signature) Clear() {
+	for i := range s.slots {
+		s.slots[i] = Entry{}
+	}
+}
+
+// MemBytes implements Store.
+func (s *Signature) MemBytes() int64 { return int64(len(s.slots)) * 24 }
+
+// Perfect is the exact store: a hash table with one entry per address, the
+// "perfect signature" of Section 2.5.1 in which hash collisions are
+// guaranteed not to happen. It is also the shadow-memory option offered
+// for 100% accurate profiling (Section 2.3.7), trading memory for
+// accuracy. The implementation is an open-addressing table with linear
+// probing and tombstone-free deletion (backward-shift), keeping per-access
+// cost close to the direct-indexed shadow memories of the paper.
+type Perfect struct {
+	keys    []uint64 // 0 = empty slot (address 0 is never used)
+	entries []Entry
+	n       int
+}
+
+const perfectInitCap = 1 << 10
+
+// NewPerfect returns an empty perfect signature.
+func NewPerfect() *Perfect {
+	return &Perfect{keys: make([]uint64, perfectInitCap), entries: make([]Entry, perfectInitCap)}
+}
+
+func phash(addr uint64) uint64 {
+	addr *= 0x9E3779B97F4A7C15
+	return addr ^ (addr >> 29)
+}
+
+// Get implements Store.
+func (p *Perfect) Get(addr uint64) Entry {
+	mask := uint64(len(p.keys) - 1)
+	for i := phash(addr) & mask; ; i = (i + 1) & mask {
+		if p.keys[i] == addr {
+			return p.entries[i]
+		}
+		if p.keys[i] == 0 {
+			return Entry{}
+		}
+	}
+}
+
+// Put implements Store.
+func (p *Perfect) Put(addr uint64, e Entry) {
+	if p.n*4 >= len(p.keys)*3 {
+		p.grow()
+	}
+	mask := uint64(len(p.keys) - 1)
+	for i := phash(addr) & mask; ; i = (i + 1) & mask {
+		if p.keys[i] == addr {
+			p.entries[i] = e
+			return
+		}
+		if p.keys[i] == 0 {
+			p.keys[i] = addr
+			p.entries[i] = e
+			p.n++
+			return
+		}
+	}
+}
+
+// Remove implements Store.
+func (p *Perfect) Remove(addr uint64) {
+	mask := uint64(len(p.keys) - 1)
+	i := phash(addr) & mask
+	for {
+		if p.keys[i] == 0 {
+			return
+		}
+		if p.keys[i] == addr {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	// Backward-shift deletion keeps probe sequences intact.
+	p.n--
+	j := i
+	for {
+		p.keys[i] = 0
+		p.entries[i] = Entry{}
+		for {
+			j = (j + 1) & mask
+			if p.keys[j] == 0 {
+				return
+			}
+			k := phash(p.keys[j]) & mask
+			// Can slot j's element move into the hole at i?
+			if (i <= j && (k <= i || k > j)) || (i > j && k <= i && k > j) {
+				break
+			}
+		}
+		p.keys[i] = p.keys[j]
+		p.entries[i] = p.entries[j]
+		i = j
+	}
+}
+
+func (p *Perfect) grow() {
+	oldK, oldE := p.keys, p.entries
+	p.keys = make([]uint64, len(oldK)*2)
+	p.entries = make([]Entry, len(oldE)*2)
+	p.n = 0
+	for i, k := range oldK {
+		if k != 0 {
+			p.Put(k, oldE[i])
+		}
+	}
+}
+
+// Clear implements Store.
+func (p *Perfect) Clear() {
+	clear(p.keys)
+	clear(p.entries)
+	p.n = 0
+}
+
+// MemBytes implements Store.
+func (p *Perfect) MemBytes() int64 {
+	return int64(len(p.keys)) * (8 + 32)
+}
+
+// Len returns the number of tracked addresses.
+func (p *Perfect) Len() int { return p.n }
+
+// EstimateFPR returns the estimated probability that a given slot is
+// occupied after inserting n distinct elements into a signature with m
+// slots: 1 - (1 - 1/m)^n (Formula 2.2).
+func EstimateFPR(m, n int) float64 {
+	if m <= 0 {
+		return 1
+	}
+	return 1 - math.Pow(1-1/float64(m), float64(n))
+}

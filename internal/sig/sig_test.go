@@ -1,0 +1,162 @@
+package sig
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPerfectMatchesMapReference drives the open-addressing table and a
+// plain map with the same random operation sequence and demands identical
+// observable behaviour — including the backward-shift deletion paths.
+func TestPerfectMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := NewPerfect()
+	ref := map[uint64]Entry{}
+	for op := 0; op < 200000; op++ {
+		addr := uint64(rng.Intn(512) + 1) // small key space forces collisions
+		switch rng.Intn(4) {
+		case 0, 1: // put
+			e := Entry{Info: uint64(rng.Int63()) | 1, Ctx: int32(op), Op: int32(op), TS: uint64(op)}
+			p.Put(addr, e)
+			ref[addr] = e
+		case 2: // get
+			if got, want := p.Get(addr), ref[addr]; got != want {
+				t.Fatalf("op %d: Get(%d) = %+v, want %+v", op, addr, got, want)
+			}
+		case 3: // remove
+			p.Remove(addr)
+			delete(ref, addr)
+		}
+		if p.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, p.Len(), len(ref))
+		}
+	}
+	for addr, want := range ref {
+		if got := p.Get(addr); got != want {
+			t.Fatalf("final: Get(%d) = %+v, want %+v", addr, got, want)
+		}
+	}
+}
+
+// TestPerfectGrowth checks growth across several doublings.
+func TestPerfectGrowth(t *testing.T) {
+	p := NewPerfect()
+	n := uint64(100000)
+	for a := uint64(1); a <= n; a++ {
+		p.Put(a, Entry{Info: a, TS: a})
+	}
+	if p.Len() != int(n) {
+		t.Fatalf("Len = %d, want %d", p.Len(), n)
+	}
+	for a := uint64(1); a <= n; a++ {
+		if e := p.Get(a); e.Info != a {
+			t.Fatalf("Get(%d).Info = %d", a, e.Info)
+		}
+	}
+	// Remove odd keys, verify even keys survive.
+	for a := uint64(1); a <= n; a += 2 {
+		p.Remove(a)
+	}
+	for a := uint64(1); a <= n; a++ {
+		e := p.Get(a)
+		if a%2 == 1 && !e.Empty() {
+			t.Fatalf("removed key %d still present", a)
+		}
+		if a%2 == 0 && e.Info != a {
+			t.Fatalf("surviving key %d lost (info=%d)", a, e.Info)
+		}
+	}
+}
+
+// TestSignatureBasics exercises the approximate signature's contract: a
+// put is always observable at the same address until overwritten or
+// removed (collisions may alias, but the slot semantics must hold).
+func TestSignatureBasics(t *testing.T) {
+	s := NewSignature(97)
+	s.Put(12345, Entry{Info: 7, TS: 1})
+	if e := s.Get(12345); e.Info != 7 {
+		t.Fatalf("Get after Put = %+v", e)
+	}
+	s.Remove(12345)
+	if e := s.Get(12345); !e.Empty() {
+		t.Fatalf("Get after Remove = %+v", e)
+	}
+}
+
+// TestSignatureCollisionProperty: two addresses either share a slot (both
+// see each other's writes) or are fully independent — never a mix.
+func TestSignatureCollisionProperty(t *testing.T) {
+	f := func(a, b uint64, infoA, infoB uint64) bool {
+		if a == 0 || b == 0 || a == b || infoA == 0 || infoB == 0 {
+			return true
+		}
+		s := NewSignature(64)
+		s.Put(a, Entry{Info: infoA})
+		s.Put(b, Entry{Info: infoB})
+		gotA, gotB := s.Get(a), s.Get(b)
+		if gotB.Info != infoB {
+			return false // own write must be visible
+		}
+		// Either collision (a sees b's write) or independence (a intact).
+		return gotA.Info == infoB || gotA.Info == infoA
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimateFPR checks Formula 2.2 empirically: insert n random
+// addresses into an m-slot signature and compare occupancy of a probe slot
+// with the analytic estimate.
+func TestEstimateFPR(t *testing.T) {
+	m, n := 1024, 700
+	est := EstimateFPR(m, n)
+	rng := rand.New(rand.NewSource(7))
+	trials, hits := 3000, 0
+	for tr := 0; tr < trials; tr++ {
+		s := NewSignature(m)
+		for i := 0; i < n; i++ {
+			s.Put(rng.Uint64()|1, Entry{Info: 1})
+		}
+		// Probe a fresh address: occupied slot = would-be false positive.
+		if !s.Get(rng.Uint64() | 1).Empty() {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(trials)
+	if math.Abs(got-est) > 0.05 {
+		t.Fatalf("empirical FPR %.3f vs estimate %.3f", got, est)
+	}
+}
+
+// TestEstimateFPRMonotonic: more slots, lower estimated FPR.
+func TestEstimateFPRMonotonic(t *testing.T) {
+	prev := 1.1
+	for _, m := range []int{1 << 10, 1 << 14, 1 << 18, 1 << 22} {
+		v := EstimateFPR(m, 10000)
+		if v >= prev {
+			t.Fatalf("FPR estimate not decreasing at m=%d: %f >= %f", m, v, prev)
+		}
+		prev = v
+	}
+}
+
+func BenchmarkPerfectPutGet(b *testing.B) {
+	p := NewPerfect()
+	for i := 0; i < b.N; i++ {
+		a := uint64(i%65536 + 1)
+		p.Put(a, Entry{Info: a, TS: uint64(i)})
+		_ = p.Get(a)
+	}
+}
+
+func BenchmarkSignaturePutGet(b *testing.B) {
+	s := NewSignature(1 << 16)
+	for i := 0; i < b.N; i++ {
+		a := uint64(i%65536 + 1)
+		s.Put(a, Entry{Info: a, TS: uint64(i)})
+		_ = s.Get(a)
+	}
+}

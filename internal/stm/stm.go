@@ -1,0 +1,123 @@
+// Package stm implements the second further application of the framework
+// (Section 5.2): deriving software-transactional-memory parameters from
+// the profiler's output. A transaction is a code section that updates
+// shared state inside a parallelizable loop and therefore needs atomicity
+// when the loop runs in parallel — the counts of Table 5.4 are determined
+// "by analyzing the output of the DiscoPoP profiler".
+package stm
+
+import (
+	"sort"
+
+	"discopop/internal/discovery"
+	"discopop/internal/ir"
+	"discopop/internal/profiler"
+)
+
+// Transaction is one code section requiring atomicity.
+type Transaction struct {
+	Loop *ir.Region
+	// Lines are the write locations forming the transaction body.
+	Lines []ir.Loc
+	// Vars are the shared variables the transaction updates.
+	Vars []string
+	// Conflicts is the profiled number of dynamic dependence instances on
+	// the transaction's lines — an upper bound on abort frequency.
+	Conflicts int64
+}
+
+// Derive extracts transactions from an analysis: for every loop that is
+// parallelizable (or DOACROSS), the statements whose loop-carried
+// dependences on shared variables would become conflicts under parallel
+// execution form transactions, grouped per variable set.
+func Derive(a *discovery.Analysis) []Transaction {
+	var out []Transaction
+	for _, s := range a.Suggestions {
+		if s.Region == nil {
+			continue
+		}
+		switch s.Kind {
+		case discovery.DOALLReduction, discovery.DOACROSS, discovery.SPMDTask:
+		default:
+			continue
+		}
+		r := s.Region
+		// Collect carried dependences of this loop on shared variables.
+		type txKey struct{ varID int32 }
+		lines := map[txKey]map[ir.Loc]bool{}
+		conflicts := map[txKey]int64{}
+		for d, n := range a.Res.Deps {
+			if !d.Carried || d.CarriedBy != int32(r.ID) || d.Type == profiler.INIT {
+				continue
+			}
+			k := txKey{d.Var}
+			if lines[k] == nil {
+				lines[k] = map[ir.Loc]bool{}
+			}
+			lines[k][d.Sink] = true
+			lines[k][d.Source] = true
+			conflicts[k] += n
+		}
+		var keys []txKey
+		for k := range lines {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].varID < keys[j].varID })
+		for _, k := range keys {
+			v := a.Mod.Vars[k.varID]
+			// Loop iteration variables do not need transactions: they are
+			// privatized by the parallel loop itself.
+			if isIndVar(v) {
+				continue
+			}
+			tx := Transaction{Loop: r, Conflicts: conflicts[k], Vars: []string{v.Name}}
+			for l := range lines[k] {
+				tx.Lines = append(tx.Lines, l)
+			}
+			sort.Slice(tx.Lines, func(i, j int) bool { return tx.Lines[i].Key() < tx.Lines[j].Key() })
+			out = append(out, tx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Loop.ID != out[j].Loop.ID {
+			return out[i].Loop.ID < out[j].Loop.ID
+		}
+		return out[i].Vars[0] < out[j].Vars[0]
+	})
+	return out
+}
+
+func isIndVar(v *ir.Var) bool {
+	if v.DeclRegion == nil || v.DeclRegion.Kind != ir.RLoop {
+		return false
+	}
+	f, ok := v.DeclRegion.Stmt.(*ir.For)
+	return ok && f.IndVar == v
+}
+
+// Params are suggested STM configuration parameters for a program.
+type Params struct {
+	Transactions int
+	// MaxReadSet / MaxWriteSet size the per-transaction logs.
+	MaxReadSet  int
+	MaxWriteSet int
+	// HighContention suggests an eager conflict-detection policy.
+	HighContention bool
+}
+
+// SuggestParams derives STM parameters from the transaction set.
+func SuggestParams(txs []Transaction) Params {
+	p := Params{Transactions: len(txs)}
+	var totalConf int64
+	for _, tx := range txs {
+		if len(tx.Lines) > p.MaxWriteSet {
+			p.MaxWriteSet = len(tx.Lines)
+		}
+		if len(tx.Vars) > p.MaxReadSet {
+			p.MaxReadSet = len(tx.Vars)
+		}
+		totalConf += tx.Conflicts
+	}
+	p.HighContention = len(txs) > 0 && totalConf/int64(len(txs)) > 1000
+	return p
+}

@@ -1,0 +1,109 @@
+package stm
+
+import (
+	"testing"
+
+	"discopop/internal/cu"
+	"discopop/internal/discovery"
+	"discopop/internal/ir"
+	"discopop/internal/profiler"
+	"discopop/internal/workloads"
+)
+
+func analyzeWorkload(t *testing.T, name string) *discovery.Analysis {
+	t.Helper()
+	prog := workloads.MustBuild(name, 1)
+	res := profiler.Profile(prog.M, profiler.Options{Store: profiler.StorePerfect})
+	sc := ir.AnalyzeScopes(prog.M)
+	g := cu.Build(prog.M, sc, res)
+	return discovery.Analyze(prog.M, sc, res, g)
+}
+
+func TestHistogramYieldsTransactions(t *testing.T) {
+	a := analyzeWorkload(t, "histogram")
+	txs := Derive(a)
+	if len(txs) == 0 {
+		t.Fatal("histogram's reduction updates yield no transactions")
+	}
+	foundHist := false
+	for _, tx := range txs {
+		for _, v := range tx.Vars {
+			if v == "hist" {
+				foundHist = true
+			}
+		}
+		if len(tx.Lines) == 0 {
+			t.Errorf("transaction without lines: %+v", tx)
+		}
+		if tx.Conflicts <= 0 {
+			t.Errorf("transaction without conflict count: %+v", tx)
+		}
+	}
+	if !foundHist {
+		t.Fatalf("no transaction on hist: %+v", txs)
+	}
+}
+
+func TestIndVarExcluded(t *testing.T) {
+	for _, name := range []string{"EP", "IS"} {
+		a := analyzeWorkload(t, name)
+		for _, tx := range Derive(a) {
+			for _, v := range tx.Vars {
+				for _, mv := range a.Mod.Vars {
+					if mv.Name != v || mv.DeclRegion == nil {
+						continue
+					}
+					if f, ok := mv.DeclRegion.Stmt.(*ir.For); ok && f.IndVar == mv {
+						t.Errorf("%s: loop index %s became a transaction", name, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSuggestParams(t *testing.T) {
+	txs := []Transaction{
+		{Lines: []ir.Loc{{File: 1, Line: 1}, {File: 1, Line: 2}}, Vars: []string{"a"}, Conflicts: 10},
+		{Lines: []ir.Loc{{File: 1, Line: 5}}, Vars: []string{"b"}, Conflicts: 5000},
+	}
+	p := SuggestParams(txs)
+	if p.Transactions != 2 {
+		t.Fatalf("transactions = %d", p.Transactions)
+	}
+	if p.MaxWriteSet != 2 {
+		t.Fatalf("max write set = %d, want 2", p.MaxWriteSet)
+	}
+	if !p.HighContention {
+		t.Fatal("high contention not flagged at 2505 conflicts/tx")
+	}
+	if empty := SuggestParams(nil); empty.Transactions != 0 || empty.HighContention {
+		t.Fatalf("empty params = %+v", empty)
+	}
+}
+
+func TestSequentialProgramsFewTransactions(t *testing.T) {
+	// A purely sequential recurrence yields no parallelizable loops,
+	// hence no transactions.
+	a := analyzeWorkload(t, "prefix-sum")
+	txs := Derive(a)
+	for _, tx := range txs {
+		if tx.Loop == nil {
+			t.Errorf("transaction without loop: %+v", tx)
+		}
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	a := analyzeWorkload(t, "kmeans")
+	t1 := Derive(a)
+	t2 := Derive(a)
+	if len(t1) != len(t2) {
+		t.Fatalf("nondeterministic count: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i].Vars[0] != t2[i].Vars[0] || t1[i].Loop != t2[i].Loop {
+			t.Fatalf("nondeterministic order at %d", i)
+		}
+	}
+}
