@@ -217,6 +217,50 @@ func BenchmarkProfilerThroughput(b *testing.B) {
 	b.ReportMetric(float64(accesses), "accesses")
 }
 
+// BenchmarkProfilerThroughputParallel measures the 4-worker pipeline on
+// the same workload — together with BenchmarkProfilerThroughput it tracks
+// the hot-path cost of per-access bookkeeping (line counting is a dense
+// slice increment; rebalancing statistics are sampled 1-in-64).
+func BenchmarkProfilerThroughputParallel(b *testing.B) {
+	prog := workloads.MustBuild("CG", benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profiler.Profile(prog.M, profiler.Options{Store: profiler.StorePerfect, Workers: 4})
+	}
+}
+
+// BenchmarkAnalyzeAll measures the concurrent batch engine against the
+// serial loop over the same jobs (BenchmarkAnalyzeSerial): N independent
+// workload analyses on a bounded worker pool.
+func BenchmarkAnalyzeAll(b *testing.B) {
+	names := workloads.Names("NAS")
+	for i := 0; i < b.N; i++ {
+		jobs := make([]discopop.Job, len(names))
+		for j, name := range names {
+			jobs[j] = discopop.Job{Name: name, Mod: workloads.MustBuild(name, benchScale).M}
+		}
+		results := discopop.AnalyzeAll(jobs, discopop.Options{})
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		b.ReportMetric(float64(len(results)), "jobs")
+	}
+}
+
+// BenchmarkAnalyzeSerial is the one-at-a-time baseline for
+// BenchmarkAnalyzeAll.
+func BenchmarkAnalyzeSerial(b *testing.B) {
+	names := workloads.Names("NAS")
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			prog := workloads.MustBuild(name, benchScale)
+			discopop.Analyze(prog.M, discopop.Options{})
+		}
+	}
+}
+
 // BenchmarkInterpNative measures the uninstrumented interpreter, the
 // "native time" denominator of all slowdown figures.
 func BenchmarkInterpNative(b *testing.B) {

@@ -1,16 +1,21 @@
 // Command dp-discover runs the full three-phase DiscoPoP-Go pipeline —
-// profiling, CU construction, parallelism discovery, ranking — on a
-// bundled workload and prints the ranked parallelization suggestions.
+// profiling, CU construction, parallelism discovery, ranking — on one or
+// more bundled workloads and prints the ranked parallelization suggestions.
+// Multiple workloads (comma-separated, or "all") are analyzed concurrently
+// on the batch engine.
 //
 // Usage:
 //
 //	dp-discover -workload CG [-scale 1] [-threads 16] [-bottomup] [-cus] [-v]
+//	dp-discover -workload CG,EP,kmeans -jobs 4
+//	dp-discover -workload all -stats
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"discopop"
 	"discopop/internal/ir"
@@ -19,53 +24,92 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "workload name")
+		workload = flag.String("workload", "", "workload name(s), comma-separated, or \"all\"")
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		threads  = flag.Int("threads", 16, "thread count for local-speedup ranking")
+		jobs     = flag.Int("jobs", 0, "concurrent analysis jobs (0 = auto: one per CPU)")
 		bottomUp = flag.Bool("bottomup", false, "use bottom-up CU construction (§3.2.3)")
 		showCUs  = flag.Bool("cus", false, "print the CU graph")
+		stats    = flag.Bool("stats", false, "print fleet-level engine stats")
 		dot      = flag.String("dot", "", "write the CU graph in Graphviz format (raw|clustered)")
 		verbose  = flag.Bool("v", false, "print blocking dependences per loop")
 	)
 	flag.Parse()
 	if *workload == "" {
-		fmt.Fprintln(os.Stderr, "usage: dp-discover -workload <name> (dp-profile -list shows names)")
+		fmt.Fprintln(os.Stderr, "usage: dp-discover -workload <name>[,<name>...] (dp-profile -list shows names)")
 		os.Exit(2)
 	}
-	prog, err := workloads.Build(*workload, *scale)
+	progs, err := workloads.BuildBatch(*workload, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rep := discopop.Analyze(prog.M, discopop.Options{
-		Threads:     *threads,
-		BottomUpCUs: *bottomUp,
+	var batch []discopop.Job
+	for _, prog := range progs {
+		batch = append(batch, discopop.Job{Name: prog.Name, Mod: prog.M})
+	}
+	if *dot != "" && len(batch) > 1 {
+		fmt.Fprintln(os.Stderr, "dp-discover: -dot supports a single workload (stdout is one Graphviz document)")
+		os.Exit(2)
+	}
+	results, fleet := discopop.AnalyzeAllStats(batch, discopop.Options{
+		Threads:      *threads,
+		BottomUpCUs:  *bottomUp,
+		BatchWorkers: *jobs,
 	})
+	failed := false
+	for _, jr := range results {
+		if jr.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", jr.Name, jr.Err)
+			failed = true
+			continue
+		}
+		report(jr.Name, jr.Report, *verbose, *showCUs, *dot)
+	}
+	if *stats {
+		fmt.Printf("\nfleet: %d jobs (%d failed), %d instrs, %d deps, %d accesses, store %.1f MB, busy %s\n",
+			fleet.Jobs, fleet.Failed, fleet.Instrs, fleet.Deps, fleet.Accesses,
+			float64(fleet.StoreBytes)/(1<<20), fleet.Busy.Round(1e6))
+		stages := make([]string, 0, len(fleet.StageTime))
+		for s := range fleet.StageTime {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		for _, s := range stages {
+			fmt.Printf("  stage %-10s %s\n", s, fleet.StageTime[s].Round(1e6))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func report(name string, rep *discopop.Report, verbose, showCUs bool, dot string) {
 	fmt.Printf("%s: %d statements executed, %d dependences, %d CUs, %d CU edges\n\n",
-		prog.Name, rep.Instrs, len(rep.Profile.Deps), len(rep.CUs.CUs), len(rep.CUs.Edges))
+		name, rep.Instrs, len(rep.Profile.Deps), len(rep.CUs.CUs), len(rep.CUs.Edges))
 	fmt.Printf("%-4s %-18s %-10s %9s %9s %9s %9s\n",
 		"rank", "kind", "location", "coverage", "speedup", "imbal", "score")
 	rank := 0
 	for _, s := range rep.Ranked {
-		if s.Score <= 0 && !*verbose {
+		if s.Score <= 0 && !verbose {
 			continue
 		}
 		rank++
 		fmt.Printf("%-4d %-18s %-10s %8.1f%% %8.2fx %9.3f %9.4f  %s\n",
 			rank, s.Kind, s.Loc, 100*s.Coverage, s.LocalSpeedup, s.Imbalance, s.Score, s.Notes)
-		if *verbose {
+		if verbose {
 			for _, d := range s.Blocking {
 				fmt.Printf("       blocking: %s RAW %s (%s)\n",
 					d.Sink, d.Source, rep.Profile.VarName(d.Var))
 			}
 		}
 	}
-	if *dot != "" {
+	if dot != "" {
 		// Figure 3.6 style (RAW only) or Figure 3.7 style (clustered).
-		fmt.Print(rep.CUs.DOT(*dot != "clustered", *dot == "clustered"))
+		fmt.Print(rep.CUs.DOT(dot != "clustered", dot == "clustered"))
 		return
 	}
-	if *showCUs {
+	if showCUs {
 		fmt.Println("\nCU graph:")
 		for _, c := range rep.CUs.CUs {
 			fmt.Printf("  %s region=%s reads=%v writes=%v weight=%.0f\n",

@@ -7,6 +7,7 @@
 //	dp-experiments                  # run everything
 //	dp-experiments -run table4.1    # run one experiment
 //	dp-experiments -scale 2         # larger workloads
+//	dp-experiments -par 8           # 8 concurrent jobs in discovery sweeps
 package main
 
 import (
@@ -22,8 +23,10 @@ func main() {
 	var (
 		run   = flag.String("run", "", "experiment ID to run (e.g. table2.6, fig2.9); empty = all")
 		scale = flag.Int("scale", 1, "workload scale factor")
+		par   = flag.Int("par", 0, "concurrent analysis jobs in the ch4/ch5 discovery sweeps (0 = one per CPU)")
 	)
 	flag.Parse()
+	experiments.BatchWorkers = *par
 	type exp struct {
 		id string
 		f  func() *experiments.Result

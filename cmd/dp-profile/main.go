@@ -1,11 +1,15 @@
-// Command dp-profile runs the DiscoPoP-Go data-dependence profiler on a
-// bundled workload and writes the dependence file (the Figure 2.1/2.3
-// format) to stdout or a file, together with profiling statistics.
+// Command dp-profile runs the DiscoPoP-Go data-dependence profiler on one
+// or more bundled workloads and writes the dependence file (the Figure
+// 2.1/2.3 format) to stdout or a file, together with profiling statistics.
+// It drives the Profile+BuildPET stages of the analysis pipeline; multiple
+// workloads (comma-separated) are profiled concurrently on the batch
+// engine.
 //
 // Usage:
 //
 //	dp-profile -workload kmeans [-scale 1] [-store sig|perfect]
 //	           [-slots N] [-workers N] [-skip] [-mt] [-o deps.txt] [-pet]
+//	dp-profile -workload kmeans,CG,EP -jobs 4
 package main
 
 import (
@@ -13,21 +17,20 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
-	"discopop/internal/interp"
-	"discopop/internal/pet"
+	"discopop/internal/pipeline"
 	"discopop/internal/profiler"
 	"discopop/internal/workloads"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "workload name (see -list)")
+		workload = flag.String("workload", "", "workload name(s), comma-separated, or \"all\" (see -list)")
 		scale    = flag.Int("scale", 1, "workload scale factor")
 		store    = flag.String("store", "perfect", "status store: sig | perfect")
 		slots    = flag.Int("slots", 1<<20, "total signature slots (sig store)")
-		workers  = flag.Int("workers", 0, "parallel profiling workers (0 = serial)")
+		workers  = flag.Int("workers", 0, "parallel profiling workers per job (0 = serial)")
+		jobs     = flag.Int("jobs", 0, "concurrent profiling jobs (0 = auto: CPUs, divided by -workers+1 when parallel profiling)")
 		skip     = flag.Bool("skip", false, "enable loop-skipping optimization (§2.4)")
 		mt       = flag.Bool("mt", false, "multi-threaded-target pipeline (§2.3.4)")
 		out      = flag.String("o", "", "output file (default stdout)")
@@ -44,26 +47,61 @@ func main() {
 			os.Exit(0)
 		}
 	}
-	prog, err := workloads.Build(*workload, *scale)
+	popt := profiler.Options{Slots: *slots, Skip: *skip, Workers: *workers, MT: *mt}
+	if *store == "sig" {
+		popt.Store = profiler.StoreSignature
+	}
+
+	progs, err := workloads.BuildBatch(*workload, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opt := profiler.Options{Slots: *slots, Skip: *skip, Workers: *workers, MT: *mt}
-	if *store == "sig" {
-		opt.Store = profiler.StoreSignature
+	var batch []pipeline.Job
+	for _, prog := range progs {
+		batch = append(batch, pipeline.Job{Name: prog.Name, Mod: prog.M})
 	}
-	prof := profiler.New(prog.M, opt)
-	petB := pet.NewBuilder()
-	in := interp.New(prog.M, &pet.Multi{Tracers: []interp.Tracer{prof, petB}})
-	start := time.Now()
-	instrs := in.Run()
-	elapsed := time.Since(start)
-	res := prof.Result()
+	results := pipeline.ProfileAll(batch, pipeline.Options{
+		Profiler: popt, BatchWorkers: *jobs,
+	})
 
 	var sb strings.Builder
-	res.WriteDepFile(&sb, *mt)
+	failed := false
+	for _, jr := range results {
+		if jr.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", jr.Name, jr.Err)
+			failed = true
+			continue
+		}
+		rep := jr.Report
+		res := rep.Profile
+		if len(results) > 1 {
+			fmt.Fprintf(&sb, "=== %s ===\n", jr.Name)
+		}
+		res.WriteDepFile(&sb, *mt)
+		// Report the instrumented execution's wall time, not whole-job
+		// time: the ms figure feeds slowdown comparisons and must exclude
+		// profiler setup, PET finalization, and result merging.
+		fmt.Fprintf(os.Stderr,
+			"profiled %s: %d statements, %d accesses, %d merged deps, %d races, store %.1f MB, %.0f ms\n",
+			jr.Name, rep.Instrs, res.Accesses, len(res.Deps), res.Races,
+			float64(res.StoreBytes)/(1<<20), rep.ExecTime.Seconds()*1000)
+		if *skip {
+			s := res.Skip
+			fmt.Fprintf(os.Stderr, "skip: %d/%d reads, %d/%d writes skipped\n",
+				s.SkippedReads, s.Reads, s.SkippedWrite, s.Writes)
+		}
+		if *withPET {
+			fmt.Fprint(os.Stderr, rep.PET.Render())
+		}
+	}
 	output := sb.String()
+	if failed {
+		// Leave any existing -o file untouched on failure: a partial
+		// batch must not clobber a good dependence file from a prior run.
+		fmt.Fprintln(os.Stderr, "dp-profile: some jobs failed; output not written")
+		os.Exit(1)
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(output), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -71,17 +109,5 @@ func main() {
 		}
 	} else {
 		fmt.Print(output)
-	}
-	fmt.Fprintf(os.Stderr,
-		"profiled %s: %d statements, %d accesses, %d merged deps, %d races, store %.1f MB, %.0f ms\n",
-		prog.Name, instrs, res.Accesses, len(res.Deps), res.Races,
-		float64(res.StoreBytes)/(1<<20), elapsed.Seconds()*1000)
-	if *skip {
-		s := res.Skip
-		fmt.Fprintf(os.Stderr, "skip: %d/%d reads, %d/%d writes skipped\n",
-			s.SkippedReads, s.Reads, s.SkippedWrite, s.Writes)
-	}
-	if *withPET {
-		fmt.Fprint(os.Stderr, petB.Tree(instrs).Render())
 	}
 }

@@ -14,23 +14,48 @@
 //  3. Phase 3 — suggestions are ranked by instruction coverage, local
 //     speedup, and CU imbalance (Section 4.3).
 //
-// Quick start:
+// The phases are implemented as composable stages (internal/pipeline);
+// Analyze runs the default stage sequence on one module.
+//
+// Quick start, one module:
 //
 //	prog := discopop.Workload("histogram", 1)
 //	report := discopop.Analyze(prog.M, discopop.Options{})
 //	for _, s := range report.Ranked {
 //	    fmt.Println(s)
 //	}
+//
+// Quick start, a batch: AnalyzeAll fans jobs across a bounded worker pool
+// (Options.BatchWorkers wide, one worker per CPU by default) and returns
+// one result per job in submission order. A failing job carries its error
+// in JobResult.Err without sinking the rest of the batch:
+//
+//	var jobs []discopop.Job
+//	for _, name := range discopop.WorkloadNames("NAS") {
+//	    jobs = append(jobs, discopop.Job{Name: name, Mod: discopop.Workload(name, 1).M})
+//	}
+//	for _, res := range discopop.AnalyzeAll(jobs, discopop.Options{}) {
+//	    if res.Err != nil {
+//	        log.Printf("%s failed: %v", res.Name, res.Err)
+//	        continue
+//	    }
+//	    fmt.Println(res.Name, res.Report.Ranked[0])
+//	}
+//
+// Each job must own its module: the profiler numbers a module's static
+// memory operations in place, so two concurrent jobs must not share one
+// *Module. For streamed results and fleet-level statistics (total
+// instructions, dependences, store bytes, per-stage wall time), use
+// NewEngine directly and drain Engine.Results while submitting.
 package discopop
 
 import (
 	"discopop/internal/cu"
 	"discopop/internal/discovery"
-	"discopop/internal/interp"
 	"discopop/internal/ir"
 	"discopop/internal/pet"
+	"discopop/internal/pipeline"
 	"discopop/internal/profiler"
-	"discopop/internal/rank"
 	"discopop/internal/workloads"
 )
 
@@ -53,6 +78,21 @@ type (
 	Program = workloads.Program
 	// PETree is the program execution tree.
 	PETree = pet.Tree
+
+	// Options configures an analysis run. The zero value profiles
+	// serially with the exact store.
+	Options = pipeline.Options
+	// Report is the complete result of the three-phase pipeline.
+	Report = pipeline.Report
+	// Job is one (name, module, options) unit of batch work.
+	Job = pipeline.Job
+	// JobResult is the outcome of one batch job: a report or an error.
+	JobResult = pipeline.JobResult
+	// Engine is the concurrent batch-analysis engine: Submit jobs, drain
+	// Results, Close when done.
+	Engine = pipeline.Engine
+	// FleetStats aggregates counters across an engine's completed jobs.
+	FleetStats = pipeline.FleetStats
 )
 
 // Suggestion kinds, re-exported.
@@ -65,68 +105,35 @@ const (
 	Sequential     = discovery.Sequential
 )
 
-// Options configures an analysis run.
-type Options struct {
-	// Profiler configures Phase 1 (store kind, signature slots, parallel
-	// workers, skip optimization...). The zero value profiles serially
-	// with the exact store.
-	Profiler profiler.Options
-	// Threads caps the local-speedup ranking metric (default 16).
-	Threads int
-	// BottomUpCUs selects the bottom-up CU construction instead of the
-	// default top-down Algorithm 3.
-	BottomUpCUs bool
-}
-
-// Report is the complete result of the three-phase pipeline.
-type Report struct {
-	Mod      *Module
-	Profile  *ProfileResult
-	PET      *PETree
-	Scope    *ir.Scope
-	CUs      *CUGraph
-	Analysis *discovery.Analysis
-	// Ranked lists all suggestions, best first.
-	Ranked []*Suggestion
-	// Instrs is the number of executed IR statements.
-	Instrs int64
-}
-
 // Analyze runs the full pipeline on a module.
 func Analyze(m *Module, opt Options) *Report {
-	prof := profiler.New(m, opt.Profiler)
-	petB := pet.NewBuilder()
-	in := interp.New(m, &pet.Multi{Tracers: []interp.Tracer{prof, petB}})
-	instrs := in.Run()
-	res := prof.Result()
+	ctx := &pipeline.Context{Mod: m, Opt: opt}
+	if err := pipeline.New().Run(ctx); err != nil {
+		// The default stages fail only on misconfigured contexts, which a
+		// non-nil module rules out; runtime errors panic as they always
+		// have (use AnalyzeAll or an Engine for isolation).
+		panic(err)
+	}
+	return ctx.Report()
+}
 
-	sinks := map[ir.Loc]int64{}
-	for d, n := range res.Deps {
-		sinks[d.Sink] += n
-	}
-	tree := petB.Tree(instrs)
-	tree.AttachDeps(sinks)
+// AnalyzeAll analyzes the jobs concurrently on a bounded worker pool
+// (opt.BatchWorkers wide, one worker per CPU when 0). opt is the default
+// for jobs that carry no options of their own. Results arrive in
+// submission order; failing jobs are isolated in their JobResult.Err.
+func AnalyzeAll(jobs []Job, opt Options) []*JobResult {
+	return pipeline.AnalyzeAll(jobs, opt)
+}
 
-	sc := ir.AnalyzeScopes(m)
-	var g *cu.Graph
-	if opt.BottomUpCUs {
-		g = cu.BuildBottomUp(m, sc, res)
-	} else {
-		g = cu.Build(m, sc, res)
-	}
-	an := discovery.Analyze(m, sc, res, g)
-	an.Suggestions = append(an.Suggestions, an.RecursiveTaskFuncs()...)
-	ranked := rank.Rank(an, rank.Options{Threads: opt.Threads})
-	return &Report{
-		Mod:      m,
-		Profile:  res,
-		PET:      tree,
-		Scope:    sc,
-		CUs:      g,
-		Analysis: an,
-		Ranked:   ranked,
-		Instrs:   instrs,
-	}
+// AnalyzeAllStats is AnalyzeAll plus fleet-level statistics.
+func AnalyzeAllStats(jobs []Job, opt Options) ([]*JobResult, FleetStats) {
+	return pipeline.AnalyzeAllStats(jobs, opt)
+}
+
+// NewEngine starts a batch engine for streaming use: Submit jobs from one
+// goroutine, range over Results in another, Close after the last Submit.
+func NewEngine(opt Options) *Engine {
+	return pipeline.NewEngine(opt)
 }
 
 // ProfileOnly runs just Phase 1 and returns the profiling result.
@@ -142,14 +149,3 @@ func Workload(name string, scale int) *Program {
 
 // WorkloadNames lists the bundled workloads of a suite ("" for all).
 func WorkloadNames(suite string) []string { return workloads.Names(suite) }
-
-// SuggestionFor returns the report's suggestion covering the given loop
-// region, or nil.
-func (r *Report) SuggestionFor(reg *Region) *Suggestion {
-	for _, s := range r.Ranked {
-		if s.Region == reg {
-			return s
-		}
-	}
-	return nil
-}

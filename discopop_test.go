@@ -126,6 +126,31 @@ func TestRankingOrdersHotLoopsFirst(t *testing.T) {
 	}
 }
 
+// TestAnalyzeAllPublicAPI batches several workloads through the exported
+// engine entry point and checks ordered results and fleet stats.
+func TestAnalyzeAllPublicAPI(t *testing.T) {
+	names := WorkloadNames("textbook")
+	jobs := make([]Job, len(names))
+	for i, name := range names {
+		jobs[i] = Job{Name: name, Mod: Workload(name, 1).M}
+	}
+	results, stats := AnalyzeAllStats(jobs, Options{BatchWorkers: 4})
+	for i, jr := range results {
+		if jr.Err != nil {
+			t.Fatalf("%s: %v", jr.Name, jr.Err)
+		}
+		if jr.Name != names[i] {
+			t.Fatalf("result %d is %s, want %s", i, jr.Name, names[i])
+		}
+		if len(jr.Report.Ranked) == 0 {
+			t.Errorf("%s: no suggestions", jr.Name)
+		}
+	}
+	if stats.Jobs != len(jobs) || stats.Failed != 0 || stats.Instrs == 0 {
+		t.Errorf("fleet stats wrong: %+v", stats)
+	}
+}
+
 // TestPETStructure sanity-checks the program execution tree.
 func TestPETStructure(t *testing.T) {
 	_, rep := classify(t, "CG")

@@ -1,0 +1,37 @@
+// Command batch-demo shows the concurrent batch-analysis API: a set of
+// workloads is fanned across the engine's worker pool with AnalyzeAll,
+// results come back in submission order, and a failing job carries its
+// error without sinking the batch.
+package main
+
+import (
+	"fmt"
+
+	"discopop"
+)
+
+func main() {
+	var opt discopop.Options
+	opt.Profiler.Workers = 4 // parallel profiling inside each job
+
+	var jobs []discopop.Job
+	for _, name := range []string{"histogram", "matmul", "CG", "kmeans"} {
+		jobs = append(jobs, discopop.Job{Name: name, Mod: discopop.Workload(name, 1).M})
+	}
+	results, stats := discopop.AnalyzeAllStats(jobs, opt)
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-10s FAILED: %v\n", r.Name, r.Err)
+			continue
+		}
+		if len(r.Report.Ranked) == 0 {
+			fmt.Printf("%-10s %7d instrs  no suggestions\n", r.Name, r.Report.Instrs)
+			continue
+		}
+		top := r.Report.Ranked[0]
+		fmt.Printf("%-10s %7d instrs  top suggestion: %s at %s (score %.2f)\n",
+			r.Name, r.Report.Instrs, top.Kind, top.Loc, top.Score)
+	}
+	fmt.Printf("fleet: %d jobs, %d failed, %d instrs, %d deps, busy %s\n",
+		stats.Jobs, stats.Failed, stats.Instrs, stats.Deps, stats.Busy.Round(1e6))
+}

@@ -1,0 +1,3 @@
+module discopop
+
+go 1.24

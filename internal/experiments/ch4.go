@@ -11,7 +11,8 @@ import (
 	"discopop/internal/workloads"
 )
 
-// analyze runs the full discovery pipeline on a workload.
+// analyze runs the full discovery pipeline on a single workload. Sweeps
+// over whole suites batch through analyzeNamed instead.
 func analyze(prog *workloads.Program) *discopop.Report {
 	return discopop.Analyze(prog.M, discopop.Options{})
 }
@@ -35,9 +36,10 @@ func Table4_1(scale int) *Result {
 	fmt.Fprintf(&sb, "%-10s %10s %10s %10s %12s\n",
 		"program", "parallel", "found", "false+", "recall")
 	var totTrue, totFound, totFalse int
-	for _, name := range workloads.Names("NAS") {
-		prog := workloads.MustBuild(name, scale)
-		rep := analyze(prog)
+	names := workloads.Names("NAS")
+	progs, reps := analyzeNamed(names, scale)
+	for i, name := range names {
+		prog, rep := progs[i], reps[i]
 		found, falsePos := 0, 0
 		for _, reg := range prog.Truth.DOALL {
 			if isParallelKind(kindFor(rep, reg)) {
@@ -77,9 +79,10 @@ func Table4_2(scale, threads int) *Result {
 		Title: fmt.Sprintf("Speedups of textbook programs with %d threads", threads)}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-16s %-18s %10s\n", "program", "suggestion", "speedup")
-	for _, name := range workloads.Names("textbook") {
-		prog := workloads.MustBuild(name, scale)
-		rep := analyze(prog)
+	names := workloads.Names("textbook")
+	progs, reps := analyzeNamed(names, scale)
+	for i, name := range names {
+		prog, rep := progs[i], reps[i]
 		sp := SimulateBest(prog, rep, threads)
 		kind := "none"
 		if len(rep.Ranked) > 0 && rep.Ranked[0].Score > 0 {
@@ -197,14 +200,19 @@ func Table4_4(scale int) *Result {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-14s %-12s %-18s %-18s %8s\n",
 		"program", "hot loop", "truth", "detected", "match")
-	names := append(workloads.Names("Starbench"), workloads.Names("NAS")...)
-	match, total := 0, 0
-	for _, name := range names {
-		prog := workloads.MustBuild(name, scale)
-		if prog.Truth.Hot == nil {
-			continue
+	// Only programs with hot-loop ground truth participate; filter before
+	// batching so the engine never analyzes a workload whose report would
+	// be discarded.
+	var progs []*workloads.Program
+	for _, name := range append(workloads.Names("Starbench"), workloads.Names("NAS")...) {
+		if p := workloads.MustBuild(name, scale); p.Truth.Hot != nil {
+			progs = append(progs, p)
 		}
-		rep := analyze(prog)
+	}
+	reps := analyzePrograms(progs)
+	match, total := 0, 0
+	for i, prog := range progs {
+		name, rep := prog.Name, reps[i]
 		got := kindFor(rep, prog.Truth.Hot)
 		want := truthKind(prog.Truth, prog.Truth.Hot)
 		ok := classMatches(want, got)
@@ -260,9 +268,10 @@ func Table4_5(scale, threads int) *Result {
 	res := &Result{ID: "table4.5", Title: "gzip/bzip2 suggestions and key opportunity"}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-8s %12s %-40s %10s\n", "program", "suggestions", "key opportunity", "speedup")
-	for _, name := range workloads.Names("compressor") {
-		prog := workloads.MustBuild(name, scale)
-		rep := analyze(prog)
+	names := workloads.Names("compressor")
+	progs, reps := analyzeNamed(names, scale)
+	for i, name := range names {
+		prog, rep := progs[i], reps[i]
 		n := 0
 		for _, s := range rep.Ranked {
 			if s.Score > 0 {
@@ -299,9 +308,10 @@ func Table4_6(scale int) *Result {
 		res.add(name, map[string]float64{"correct": b2f(ok)})
 		fmt.Fprintf(&sb, "%-12s %-14s %8v  %s\n", name, spot, ok, note)
 	}
-	for _, name := range workloads.Names("BOTS") {
-		prog := workloads.MustBuild(name, scale)
-		rep := analyze(prog)
+	names := workloads.Names("BOTS")
+	progs, reps := analyzeNamed(names, scale)
+	for i, name := range names {
+		prog, rep := progs[i], reps[i]
 		for _, f := range prog.Truth.TaskFuncs {
 			var hit *discovery.Suggestion
 			for _, s := range rep.Ranked {
@@ -337,9 +347,10 @@ func Table4_7(scale int) *Result {
 	res := &Result{ID: "table4.7", Title: "MPMD tasks in PARSEC-like, libVorbis, FaceDetection"}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-16s %8s %8s  %s\n", "program", "found", "tasks", "notes")
-	for _, name := range workloads.Names("MPMD") {
-		prog := workloads.MustBuild(name, scale)
-		rep := analyze(prog)
+	names := workloads.Names("MPMD")
+	_, reps := analyzeNamed(names, scale)
+	for i, name := range names {
+		rep := reps[i]
 		var hit *discovery.Suggestion
 		for _, s := range rep.Ranked {
 			if s.Kind == discovery.MPMDTask && len(s.Tasks) >= 2 {

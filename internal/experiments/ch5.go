@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"discopop"
 	"discopop/internal/comm"
 	"discopop/internal/features"
 	"discopop/internal/ir"
@@ -19,20 +20,28 @@ import (
 // (Table 5.3).
 func Table5_2_5_3(scale int) *Result {
 	res := &Result{ID: "table5.2+5.3", Title: "DOALL loop classification (features + AdaBoost)"}
-	var samples []features.Sample
+	var names []string
 	for _, suite := range []string{"NAS", "Starbench", "textbook", "compressor", "MPMD"} {
-		for _, name := range workloads.Names(suite) {
-			prog := workloads.MustBuild(name, scale)
-			rep := analyze(prog)
-			fs := features.Extract(prog.M, rep.Scope, rep.Profile)
-			doall := map[*ir.Region]bool{}
-			for _, r := range prog.Truth.DOALL {
-				doall[r] = true
-			}
-			hot := map[*ir.Region]bool{prog.Truth.Hot: true}
-			features.Label(fs, doall, hot)
-			samples = append(samples, fs...)
+		names = append(names, workloads.Names(suite)...)
+	}
+	// Stream the whole-corpus sweep: features are extracted as each job
+	// completes and the report is dropped, so peak memory stays at one
+	// report per pool worker. Samples are reassembled in submission order
+	// to keep the train/eval split deterministic.
+	sampleSets := make([][]features.Sample, len(names))
+	analyzeStream(names, scale, func(i int, prog *workloads.Program, rep *discopop.Report) {
+		fs := features.Extract(prog.M, rep.Scope, rep.Profile)
+		doall := map[*ir.Region]bool{}
+		for _, r := range prog.Truth.DOALL {
+			doall[r] = true
 		}
+		hot := map[*ir.Region]bool{prog.Truth.Hot: true}
+		features.Label(fs, doall, hot)
+		sampleSets[i] = fs
+	})
+	var samples []features.Sample
+	for _, fs := range sampleSets {
+		samples = append(samples, fs...)
 	}
 	train, eval := features.Split(samples, 4)
 	ens := features.Train(train, 40)
@@ -87,9 +96,10 @@ func Table5_4(scale int) *Result {
 	res := &Result{ID: "table5.4", Title: "Number of transactions in NAS benchmarks"}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-10s %14s %12s %12s\n", "program", "transactions", "maxWriteSet", "contended")
-	for _, name := range workloads.Names("NAS") {
-		prog := workloads.MustBuild(name, scale)
-		rep := analyze(prog)
+	names := workloads.Names("NAS")
+	_, reps := analyzeNamed(names, scale)
+	for i, name := range names {
+		rep := reps[i]
 		txs := stm.Derive(rep.Analysis)
 		params := stm.SuggestParams(txs)
 		res.add(name, map[string]float64{"transactions": float64(params.Transactions)})

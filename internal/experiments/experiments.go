@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"discopop"
 	"discopop/internal/interp"
 	"discopop/internal/profiler"
 	"discopop/internal/workloads"
@@ -58,6 +59,69 @@ func (r *Result) Mean(cell string) float64 {
 // minimum is reported (the paper averages three executions; the minimum is
 // the standard noise-robust choice at our much smaller workload sizes).
 const timingRuns = 3
+
+// BatchWorkers bounds the worker pool used by the discovery sweeps (the
+// ch4/ch5 tables, whose per-workload analyses are independent jobs). 0
+// means one worker per CPU. Timing experiments (fig2.x) never batch:
+// concurrent jobs would perturb their wall-clock measurements.
+var BatchWorkers = 0
+
+// analyzeNamed builds the named workloads and analyzes them concurrently
+// through the batch engine, returning programs and reports in the order of
+// names.
+func analyzeNamed(names []string, scale int) ([]*workloads.Program, []*discopop.Report) {
+	progs := make([]*workloads.Program, len(names))
+	for i, name := range names {
+		progs[i] = workloads.MustBuild(name, scale)
+	}
+	return progs, analyzePrograms(progs)
+}
+
+// analyzeStream analyzes the named workloads concurrently and invokes fn
+// for each completed job as it arrives (completion order, with the job's
+// submission index). Unlike analyzeNamed it never holds more than one
+// report per pool worker alive: each report is released once fn returns,
+// which keeps the peak memory of whole-corpus sweeps flat. fn runs on the
+// draining goroutine, so it needs no locking.
+func analyzeStream(names []string, scale int,
+	fn func(i int, prog *workloads.Program, rep *discopop.Report)) {
+	progs := make([]*workloads.Program, len(names))
+	for i, name := range names {
+		progs[i] = workloads.MustBuild(name, scale)
+	}
+	e := discopop.NewEngine(discopop.Options{BatchWorkers: BatchWorkers})
+	go func() {
+		for i, name := range names {
+			e.Submit(discopop.Job{Name: name, Mod: progs[i].M})
+		}
+		e.Close()
+	}()
+	for jr := range e.Results() {
+		if jr.Err != nil {
+			panic(fmt.Sprintf("experiments: analyze %s: %v", jr.Name, jr.Err))
+		}
+		fn(jr.Index, progs[jr.Index], jr.Report)
+	}
+}
+
+// analyzePrograms analyzes prebuilt workloads concurrently through the
+// batch engine, returning reports in program order. A failing job panics:
+// the evaluation workloads are all expected to analyze cleanly.
+func analyzePrograms(progs []*workloads.Program) []*discopop.Report {
+	jobs := make([]discopop.Job, len(progs))
+	for i, p := range progs {
+		jobs[i] = discopop.Job{Name: p.Name, Mod: p.M}
+	}
+	results := discopop.AnalyzeAll(jobs, discopop.Options{BatchWorkers: BatchWorkers})
+	reps := make([]*discopop.Report, len(progs))
+	for i, jr := range results {
+		if jr.Err != nil {
+			panic(fmt.Sprintf("experiments: analyze %s: %v", jr.Name, jr.Err))
+		}
+		reps[i] = jr.Report
+	}
+	return reps
+}
 
 // nativeTime runs a program uninstrumented and returns wall time and
 // executed statements.

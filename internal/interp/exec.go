@@ -62,7 +62,7 @@ func (it *Interp) callFunc(t *thread, fn *ir.Func, args []argVal, callLoc ir.Loc
 			if it.tracer != nil {
 				it.tracer.BindVar(p, addr, 1, t.id)
 			}
-			it.store(t, addr, args[i].val, fn.Loc, p, 0)
+			it.store(t, addr, args[i].val, fn.Loc, p, p.ParamOp)
 			t.frames = t.frames[:len(t.frames)-1]
 		} else {
 			fr.env[p] = args[i].base

@@ -128,6 +128,15 @@ func PrepareOps(m *ir.Module) int32 {
 		if f.Body == nil {
 			continue
 		}
+		// By-value parameter binding emits one store per call; give each
+		// parameter its own operation identity so those stores do not
+		// alias one shared op slot across functions.
+		for _, p := range f.Params {
+			if p.ByValue {
+				next++
+				p.ParamOp = next
+			}
+		}
 		ir.Walk(f.Body, func(s ir.Stmt) {
 			if a, ok := s.(*ir.Assign); ok {
 				next++

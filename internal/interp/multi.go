@@ -1,0 +1,102 @@
+package interp
+
+import "discopop/internal/ir"
+
+// MultiTracer composes several tracers into one event stream, so that the
+// profiler, the PET builder, and any number of auxiliary observers can watch
+// the same execution. It lives next to the Tracer interface because stage
+// wiring (internal/pipeline) composes tracers before the interpreter runs.
+type MultiTracer struct {
+	Tracers []Tracer
+}
+
+// Load implements Tracer.
+func (m *MultiTracer) Load(a Access) {
+	for _, t := range m.Tracers {
+		t.Load(a)
+	}
+}
+
+// Store implements Tracer.
+func (m *MultiTracer) Store(a Access) {
+	for _, t := range m.Tracers {
+		t.Store(a)
+	}
+}
+
+// EnterRegion implements Tracer.
+func (m *MultiTracer) EnterRegion(r *ir.Region, tid int32) {
+	for _, t := range m.Tracers {
+		t.EnterRegion(r, tid)
+	}
+}
+
+// ExitRegion implements Tracer.
+func (m *MultiTracer) ExitRegion(r *ir.Region, iters, instrs int64, tid int32) {
+	for _, t := range m.Tracers {
+		t.ExitRegion(r, iters, instrs, tid)
+	}
+}
+
+// LoopIter implements Tracer.
+func (m *MultiTracer) LoopIter(r *ir.Region, iter int64, tid int32) {
+	for _, t := range m.Tracers {
+		t.LoopIter(r, iter, tid)
+	}
+}
+
+// EnterFunc implements Tracer.
+func (m *MultiTracer) EnterFunc(f *ir.Func, callLoc ir.Loc, tid int32) {
+	for _, t := range m.Tracers {
+		t.EnterFunc(f, callLoc, tid)
+	}
+}
+
+// ExitFunc implements Tracer.
+func (m *MultiTracer) ExitFunc(f *ir.Func, instrs int64, tid int32) {
+	for _, t := range m.Tracers {
+		t.ExitFunc(f, instrs, tid)
+	}
+}
+
+// BindVar implements Tracer.
+func (m *MultiTracer) BindVar(v *ir.Var, base uint64, elems int, tid int32) {
+	for _, t := range m.Tracers {
+		t.BindVar(v, base, elems, tid)
+	}
+}
+
+// FreeVar implements Tracer.
+func (m *MultiTracer) FreeVar(v *ir.Var, base uint64, elems int, tid int32) {
+	for _, t := range m.Tracers {
+		t.FreeVar(v, base, elems, tid)
+	}
+}
+
+// Lock implements Tracer.
+func (m *MultiTracer) Lock(id int, tid int32) {
+	for _, t := range m.Tracers {
+		t.Lock(id, tid)
+	}
+}
+
+// Unlock implements Tracer.
+func (m *MultiTracer) Unlock(id int, tid int32) {
+	for _, t := range m.Tracers {
+		t.Unlock(id, tid)
+	}
+}
+
+// ThreadStart implements Tracer.
+func (m *MultiTracer) ThreadStart(tid, parent int32) {
+	for _, t := range m.Tracers {
+		t.ThreadStart(tid, parent)
+	}
+}
+
+// ThreadEnd implements Tracer.
+func (m *MultiTracer) ThreadEnd(tid int32) {
+	for _, t := range m.Tracers {
+		t.ThreadEnd(tid)
+	}
+}

@@ -89,6 +89,12 @@ type Var struct {
 	DeclRegion *Region
 	// Func is the function owning the variable (nil for module globals).
 	Func *Func
+	// ParamOp is the static memory-operation ID of the parameter-binding
+	// store for by-value parameters, assigned by interp.PrepareOps; 0
+	// otherwise. Without it every parameter store in the module would
+	// share one operation identity, aliasing the per-operation state of
+	// the skip optimization and the profiler's line counters.
+	ParamOp int32
 }
 
 func (v *Var) String() string { return v.Name }

@@ -222,100 +222,3 @@ func (t *Tree) Render() string {
 	rec(t.Root, 0)
 	return sb.String()
 }
-
-// Multi composes several tracers into one, so the profiler and the PET
-// builder can observe the same execution.
-type Multi struct {
-	Tracers []interp.Tracer
-}
-
-// Load implements interp.Tracer.
-func (m *Multi) Load(a interp.Access) {
-	for _, t := range m.Tracers {
-		t.Load(a)
-	}
-}
-
-// Store implements interp.Tracer.
-func (m *Multi) Store(a interp.Access) {
-	for _, t := range m.Tracers {
-		t.Store(a)
-	}
-}
-
-// EnterRegion implements interp.Tracer.
-func (m *Multi) EnterRegion(r *ir.Region, tid int32) {
-	for _, t := range m.Tracers {
-		t.EnterRegion(r, tid)
-	}
-}
-
-// ExitRegion implements interp.Tracer.
-func (m *Multi) ExitRegion(r *ir.Region, iters, instrs int64, tid int32) {
-	for _, t := range m.Tracers {
-		t.ExitRegion(r, iters, instrs, tid)
-	}
-}
-
-// LoopIter implements interp.Tracer.
-func (m *Multi) LoopIter(r *ir.Region, iter int64, tid int32) {
-	for _, t := range m.Tracers {
-		t.LoopIter(r, iter, tid)
-	}
-}
-
-// EnterFunc implements interp.Tracer.
-func (m *Multi) EnterFunc(f *ir.Func, callLoc ir.Loc, tid int32) {
-	for _, t := range m.Tracers {
-		t.EnterFunc(f, callLoc, tid)
-	}
-}
-
-// ExitFunc implements interp.Tracer.
-func (m *Multi) ExitFunc(f *ir.Func, instrs int64, tid int32) {
-	for _, t := range m.Tracers {
-		t.ExitFunc(f, instrs, tid)
-	}
-}
-
-// BindVar implements interp.Tracer.
-func (m *Multi) BindVar(v *ir.Var, base uint64, elems int, tid int32) {
-	for _, t := range m.Tracers {
-		t.BindVar(v, base, elems, tid)
-	}
-}
-
-// FreeVar implements interp.Tracer.
-func (m *Multi) FreeVar(v *ir.Var, base uint64, elems int, tid int32) {
-	for _, t := range m.Tracers {
-		t.FreeVar(v, base, elems, tid)
-	}
-}
-
-// Lock implements interp.Tracer.
-func (m *Multi) Lock(id int, tid int32) {
-	for _, t := range m.Tracers {
-		t.Lock(id, tid)
-	}
-}
-
-// Unlock implements interp.Tracer.
-func (m *Multi) Unlock(id int, tid int32) {
-	for _, t := range m.Tracers {
-		t.Unlock(id, tid)
-	}
-}
-
-// ThreadStart implements interp.Tracer.
-func (m *Multi) ThreadStart(tid, parent int32) {
-	for _, t := range m.Tracers {
-		t.ThreadStart(tid, parent)
-	}
-}
-
-// ThreadEnd implements interp.Tracer.
-func (m *Multi) ThreadEnd(tid int32) {
-	for _, t := range m.Tracers {
-		t.ThreadEnd(tid)
-	}
-}

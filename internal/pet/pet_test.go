@@ -180,7 +180,7 @@ func TestRender(t *testing.T) {
 func TestMultiDispatch(t *testing.T) {
 	m := buildCallTree()
 	a, b := NewBuilder(), NewBuilder()
-	in := interp.New(m, &Multi{Tracers: []interp.Tracer{a, b}})
+	in := interp.New(m, &interp.MultiTracer{Tracers: []interp.Tracer{a, b}})
 	instrs := in.Run()
 	ta, tb := a.Tree(instrs), b.Tree(instrs)
 	if len(ta.Nodes) != len(tb.Nodes) {

@@ -1,0 +1,277 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"discopop/internal/ir"
+)
+
+// Job is one unit of batch work: a module to analyze, identified by name.
+// Each job must own its module — the Profile stage numbers the module's
+// static memory operations in place, so sharing one *ir.Module between
+// concurrently running jobs is a data race.
+type Job struct {
+	// Name identifies the job in results (e.g. the workload name).
+	Name string
+	// Mod is the module to analyze.
+	Mod *ir.Module
+	// Opt overrides the engine-wide default options when non-nil.
+	Opt *Options
+
+	index int // submission order, stamped by Submit
+}
+
+// JobResult is the outcome of one job. Exactly one of Report and Err is
+// meaningful: a failing job carries its error and a nil report.
+type JobResult struct {
+	// Index is the job's submission position, for deterministic ordering.
+	Index int
+	Name  string
+	// Report is the completed analysis (nil when Err != nil).
+	Report *Report
+	Err    error
+	// Elapsed is the job's total wall time inside a worker.
+	Elapsed time.Duration
+}
+
+// FleetStats aggregates observability counters across all completed jobs
+// of an engine.
+type FleetStats struct {
+	Jobs   int // jobs completed (successfully or not)
+	Failed int
+	// Instrs is the total number of executed IR statements.
+	Instrs int64
+	// Deps is the total number of distinct merged dependences.
+	Deps int64
+	// Accesses is the total number of profiled memory accesses.
+	Accesses int64
+	// StoreBytes is the summed access-status store footprint.
+	StoreBytes int64
+	// Busy is the summed per-job wall time (≥ real elapsed time when the
+	// pool runs jobs concurrently).
+	Busy time.Duration
+	// StageTime is the summed wall time per stage name.
+	StageTime map[string]time.Duration
+}
+
+// Engine fans analysis jobs across a bounded worker pool and streams
+// results as they complete. Typical use:
+//
+//	eng := pipeline.NewEngine(opt)
+//	go func() {
+//		for _, j := range jobs {
+//			eng.Submit(j)
+//		}
+//		eng.Close()
+//	}()
+//	for res := range eng.Results() {
+//		...
+//	}
+//
+// Submit applies backpressure: it blocks while all workers are busy and the
+// job buffer is full. Results must be drained, or workers stall handing
+// over finished reports. AnalyzeAll wraps this protocol for the common
+// submit-everything-then-collect case.
+type Engine struct {
+	opt      Options
+	pipeline *Pipeline
+	jobs     chan Job
+	results  chan *JobResult
+	wg       sync.WaitGroup
+
+	// subMu serializes Submit and Close so a submission in flight can
+	// never race the channel close.
+	subMu  sync.Mutex
+	next   int // submission index
+	closed bool
+
+	mu    sync.Mutex // guards stats
+	stats FleetStats
+}
+
+// NewEngine starts an engine running the default five-stage pipeline with
+// opt as the per-job default options. The pool has opt.BatchWorkers
+// workers (one per CPU when 0).
+func NewEngine(opt Options) *Engine {
+	return NewEngineWith(New(), opt)
+}
+
+// NewEngineWith starts an engine running a custom pipeline — e.g.
+// ProfilePipeline() for profile-only batch runs.
+func NewEngineWith(pl *Pipeline, opt Options) *Engine {
+	workers := opt.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		// Each job with a parallel profiler runs 1 producer plus
+		// opt.Profiler.Workers spin-waiting pipeline goroutines; divide
+		// the pool so the default does not oversubscribe the cores the
+		// producers need. Explicit BatchWorkers always wins. The default
+		// inspects only the engine-wide options — callers enabling
+		// parallel profiling through per-job Job.Opt overrides should
+		// size BatchWorkers themselves.
+		if pw := opt.Profiler.Workers; pw > 0 {
+			workers /= pw + 1
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	e := &Engine{
+		opt:      opt,
+		pipeline: pl,
+		jobs:     make(chan Job, workers),
+		results:  make(chan *JobResult, workers),
+	}
+	e.stats.StageTime = map[string]time.Duration{}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.run()
+	}
+	return e
+}
+
+// Submit enqueues one job. It panics if the engine is closed and blocks
+// while the pool is saturated (backpressure).
+func (e *Engine) Submit(j Job) {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	if e.closed {
+		panic("pipeline: Submit on closed engine")
+	}
+	j.index = e.next
+	e.next++
+	e.jobs <- j
+}
+
+// Results returns the stream of completed jobs, in completion order. The
+// channel closes after Close once every submitted job has been delivered.
+func (e *Engine) Results() <-chan *JobResult { return e.results }
+
+// Close marks the end of submissions. The results channel closes once all
+// in-flight jobs finish.
+func (e *Engine) Close() {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	go func() {
+		e.wg.Wait()
+		close(e.results)
+	}()
+}
+
+// Stats returns a snapshot of the fleet-level counters accumulated so far.
+func (e *Engine) Stats() FleetStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.StageTime = make(map[string]time.Duration, len(e.stats.StageTime))
+	for k, v := range e.stats.StageTime {
+		s.StageTime[k] = v
+	}
+	return s
+}
+
+func (e *Engine) run() {
+	defer e.wg.Done()
+	for j := range e.jobs {
+		e.results <- e.runJob(j)
+	}
+}
+
+// runJob executes one job through the pipeline, isolating failures: a
+// panicking interpreter (out-of-range access, deadlock...) or a failing
+// stage yields an error result instead of sinking the batch.
+func (e *Engine) runJob(j Job) (res *JobResult) {
+	start := time.Now()
+	res = &JobResult{Index: j.index, Name: j.Name}
+	var ctx *Context
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("job %q: panic: %v", j.Name, r)
+		}
+		res.Elapsed = time.Since(start)
+		e.record(res, ctx)
+	}()
+	if j.Mod == nil {
+		res.Err = errors.New("job has no module")
+		return res
+	}
+	opt := e.opt
+	if j.Opt != nil {
+		opt = *j.Opt
+	}
+	ctx = &Context{Mod: j.Mod, Opt: opt}
+	if err := e.pipeline.Run(ctx); err != nil {
+		res.Err = err
+		return res
+	}
+	res.Report = ctx.Report()
+	return res
+}
+
+// record folds one finished job into the fleet stats.
+func (e *Engine) record(res *JobResult, ctx *Context) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Jobs++
+	e.stats.Busy += res.Elapsed
+	if res.Err != nil {
+		e.stats.Failed++
+	}
+	if ctx == nil {
+		return
+	}
+	e.stats.Instrs += ctx.Instrs
+	if ctx.Profile != nil {
+		e.stats.Deps += int64(len(ctx.Profile.Deps))
+		e.stats.Accesses += ctx.Profile.Accesses
+		e.stats.StoreBytes += ctx.Profile.StoreBytes
+	}
+	for _, st := range ctx.Times {
+		e.stats.StageTime[st.Stage] += st.D
+	}
+}
+
+// AnalyzeAll analyzes the jobs concurrently on a bounded worker pool (size
+// opt.BatchWorkers, one per CPU when 0) and returns one result per job in
+// submission order. Failing jobs are isolated: their results carry the
+// error, the rest of the batch completes normally.
+func AnalyzeAll(jobs []Job, opt Options) []*JobResult {
+	results, _ := analyzeAll(New(), jobs, opt)
+	return results
+}
+
+// AnalyzeAllStats is AnalyzeAll plus the engine's fleet-level stats.
+func AnalyzeAllStats(jobs []Job, opt Options) ([]*JobResult, FleetStats) {
+	return analyzeAll(New(), jobs, opt)
+}
+
+// ProfileAll runs the profile-only pipeline over the jobs concurrently,
+// returning results in submission order.
+func ProfileAll(jobs []Job, opt Options) []*JobResult {
+	results, _ := analyzeAll(ProfilePipeline(), jobs, opt)
+	return results
+}
+
+func analyzeAll(pl *Pipeline, jobs []Job, opt Options) ([]*JobResult, FleetStats) {
+	e := NewEngineWith(pl, opt)
+	go func() {
+		for _, j := range jobs {
+			e.Submit(j)
+		}
+		e.Close()
+	}()
+	out := make([]*JobResult, len(jobs))
+	for r := range e.Results() {
+		out[r.Index] = r
+	}
+	return out, e.Stats()
+}

@@ -1,0 +1,305 @@
+// Package pipeline decomposes the three-phase analysis of the paper
+// (profiling → CU construction and discovery → ranking) into composable,
+// independently-configurable stages wired through a shared Context, and
+// provides a concurrent batch engine (Engine) that fans many (module,
+// options) jobs across a bounded worker pool.
+//
+// The default stage sequence mirrors Figure 1.3:
+//
+//	Profile   — execute the module under instrumentation; the dependence
+//	            profiler and the PET builder observe one event stream
+//	BuildPET  — finalize the Program Execution Tree and attach dependences
+//	BuildCUs  — static scope analysis plus computational-unit construction
+//	Discover  — search the CU graph for DOALL/DOACROSS/SPMD/MPMD patterns
+//	Rank      — order suggestions by coverage, local speedup, imbalance
+//
+// Callers that need only part of the pipeline compose fewer stages (see
+// ProfilePipeline), and future scaling work (stage caching, sharded stores,
+// remote backends) plugs into the same Stage seam.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"discopop/internal/cu"
+	"discopop/internal/discovery"
+	"discopop/internal/interp"
+	"discopop/internal/ir"
+	"discopop/internal/pet"
+	"discopop/internal/profiler"
+	"discopop/internal/rank"
+)
+
+// Options configures one analysis run. The zero value profiles serially
+// with the exact store and ranks against 16 threads.
+type Options struct {
+	// Profiler configures the Profile stage (store kind, signature slots,
+	// parallel workers, skip optimization...).
+	Profiler profiler.Options
+	// Threads caps the local-speedup ranking metric (default 16).
+	Threads int
+	// BottomUpCUs selects bottom-up CU construction instead of the default
+	// top-down Algorithm 3.
+	BottomUpCUs bool
+	// BatchWorkers bounds the Engine's worker pool. 0 picks a default:
+	// one worker per available CPU, divided by Profiler.Workers+1 when
+	// per-job parallel profiling is on (each job then runs its own
+	// spin-waiting worker goroutines, and oversubscribing the cores
+	// starves the producers). It has no effect on a single Analyze call.
+	BatchWorkers int
+	// ExtraTracers are attached to the profiled execution alongside the
+	// profiler and the PET builder, observing the same event stream. The
+	// instances are shared by reference: when batching with concurrent
+	// workers, give each Job its own Options (Job.Opt) with distinct
+	// tracer instances — or make the tracers concurrency-safe — since
+	// jobs sharing one Options value would invoke them from several
+	// goroutines at once.
+	ExtraTracers []interp.Tracer
+}
+
+// Context carries one job through the stages. Each stage reads the products
+// of earlier stages and fills in its own; a stage returns an error if a
+// product it requires is missing.
+type Context struct {
+	Mod *ir.Module
+	Opt Options
+
+	// Stage products.
+	Prof       *profiler.Profiler
+	PETBuilder *pet.Builder
+	Instrs     int64
+	// ExecTime is the wall time of the instrumented execution alone —
+	// the numerator of profiling-slowdown figures. The profile stage's
+	// StageTime additionally includes profiler setup and result merging.
+	ExecTime time.Duration
+	Profile  *profiler.Result
+	PET      *pet.Tree
+	Scope    *ir.Scope
+	CUs      *cu.Graph
+	Analysis *discovery.Analysis
+	Ranked   []*discovery.Suggestion
+
+	// Times records per-stage wall time in execution order.
+	Times []StageTime
+}
+
+// StageTime is the measured wall time of one stage run.
+type StageTime struct {
+	Stage string
+	D     time.Duration
+}
+
+// StageDuration returns the recorded wall time of the named stage (0 when
+// the stage did not run).
+func (c *Context) StageDuration(name string) time.Duration {
+	for _, st := range c.Times {
+		if st.Stage == name {
+			return st.D
+		}
+	}
+	return 0
+}
+
+// Stage is one step of the analysis pipeline.
+type Stage interface {
+	Name() string
+	Run(*Context) error
+}
+
+// Pipeline is an ordered stage sequence.
+type Pipeline struct {
+	Stages []Stage
+}
+
+// New builds the default five-stage pipeline.
+func New() *Pipeline {
+	return &Pipeline{Stages: []Stage{
+		Profile{}, BuildPET{}, BuildCUs{}, Discover{}, Rank{},
+	}}
+}
+
+// ProfilePipeline builds the Phase-1-only pipeline: profile the execution
+// and finalize the PET, skipping CU construction, discovery, and ranking.
+func ProfilePipeline() *Pipeline {
+	return &Pipeline{Stages: []Stage{Profile{}, BuildPET{}}}
+}
+
+// Run executes the stages in order on ctx, recording per-stage wall time.
+// It stops at the first failing stage.
+func (p *Pipeline) Run(ctx *Context) error {
+	if ctx.Mod == nil {
+		return errors.New("pipeline: context has no module")
+	}
+	for _, s := range p.Stages {
+		start := time.Now()
+		err := s.Run(ctx)
+		ctx.Times = append(ctx.Times, StageTime{Stage: s.Name(), D: time.Since(start)})
+		if err != nil {
+			return fmt.Errorf("pipeline: stage %s: %w", s.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Profile executes the module under instrumentation: the dependence
+// profiler and the PET builder (plus any extra tracers) observe one event
+// stream, exactly as Phase 1 runs the instrumented binary once.
+type Profile struct{}
+
+// Name implements Stage.
+func (Profile) Name() string { return "profile" }
+
+// Run implements Stage.
+func (Profile) Run(ctx *Context) error {
+	ctx.Prof = profiler.New(ctx.Mod, ctx.Opt.Profiler)
+	// If the interpreter panics (runtime error in the target program),
+	// shut the profiler's worker pipelines down before unwinding: their
+	// spin loops would otherwise outlive the job and burn CPU for the
+	// rest of the process. On the normal path Result stops them itself.
+	defer func() {
+		if ctx.Profile == nil {
+			ctx.Prof.Stop()
+		}
+	}()
+	ctx.PETBuilder = pet.NewBuilder()
+	tracers := append([]interp.Tracer{ctx.Prof, ctx.PETBuilder}, ctx.Opt.ExtraTracers...)
+	in := interp.New(ctx.Mod, &interp.MultiTracer{Tracers: tracers})
+	start := time.Now()
+	ctx.Instrs = in.Run()
+	ctx.ExecTime = time.Since(start)
+	ctx.Profile = ctx.Prof.Result()
+	return nil
+}
+
+// BuildPET finalizes the Program Execution Tree and annotates it with the
+// per-sink dependence counts of the profiling result.
+type BuildPET struct{}
+
+// Name implements Stage.
+func (BuildPET) Name() string { return "build-pet" }
+
+// Run implements Stage.
+func (BuildPET) Run(ctx *Context) error {
+	if ctx.PETBuilder == nil || ctx.Profile == nil {
+		return errors.New("requires the profile stage")
+	}
+	sinks := map[ir.Loc]int64{}
+	for d, n := range ctx.Profile.Deps {
+		sinks[d.Sink] += n
+	}
+	ctx.PET = ctx.PETBuilder.Tree(ctx.Instrs)
+	ctx.PET.AttachDeps(sinks)
+	return nil
+}
+
+// BuildCUs runs the static scope analysis and constructs the
+// computational-unit graph (Chapter 3).
+type BuildCUs struct{}
+
+// Name implements Stage.
+func (BuildCUs) Name() string { return "build-cus" }
+
+// Run implements Stage.
+func (BuildCUs) Run(ctx *Context) error {
+	if ctx.Profile == nil {
+		return errors.New("requires the profile stage")
+	}
+	ctx.Scope = ir.AnalyzeScopes(ctx.Mod)
+	if ctx.Opt.BottomUpCUs {
+		ctx.CUs = cu.BuildBottomUp(ctx.Mod, ctx.Scope, ctx.Profile)
+	} else {
+		ctx.CUs = cu.Build(ctx.Mod, ctx.Scope, ctx.Profile)
+	}
+	return nil
+}
+
+// Discover searches the CU graph for parallelization opportunities
+// (Chapter 4), including recursive task functions.
+type Discover struct{}
+
+// Name implements Stage.
+func (Discover) Name() string { return "discover" }
+
+// Run implements Stage.
+func (Discover) Run(ctx *Context) error {
+	if ctx.CUs == nil || ctx.Scope == nil {
+		return errors.New("requires the build-cus stage")
+	}
+	ctx.Analysis = discovery.Analyze(ctx.Mod, ctx.Scope, ctx.Profile, ctx.CUs)
+	ctx.Analysis.Suggestions = append(ctx.Analysis.Suggestions,
+		ctx.Analysis.RecursiveTaskFuncs()...)
+	return nil
+}
+
+// Rank orders the suggestions by the Section 4.3 metrics.
+type Rank struct{}
+
+// Name implements Stage.
+func (Rank) Name() string { return "rank" }
+
+// Run implements Stage.
+func (Rank) Run(ctx *Context) error {
+	if ctx.Analysis == nil {
+		return errors.New("requires the discover stage")
+	}
+	ctx.Ranked = rank.Rank(ctx.Analysis, rank.Options{Threads: ctx.Opt.Threads})
+	return nil
+}
+
+// Report is the complete result of the three-phase pipeline.
+type Report struct {
+	Mod      *ir.Module
+	Profile  *profiler.Result
+	PET      *pet.Tree
+	Scope    *ir.Scope
+	CUs      *cu.Graph
+	Analysis *discovery.Analysis
+	// Ranked lists all suggestions, best first.
+	Ranked []*discovery.Suggestion
+	// Instrs is the number of executed IR statements.
+	Instrs int64
+	// ExecTime is the wall time of the instrumented execution alone.
+	ExecTime time.Duration
+	// Times records per-stage wall time in execution order.
+	Times []StageTime
+}
+
+// StageDuration returns the recorded wall time of the named stage (0 when
+// the stage did not run).
+func (r *Report) StageDuration(name string) time.Duration {
+	for _, st := range r.Times {
+		if st.Stage == name {
+			return st.D
+		}
+	}
+	return 0
+}
+
+// Report assembles the stage products into a Report.
+func (c *Context) Report() *Report {
+	return &Report{
+		Mod:      c.Mod,
+		Profile:  c.Profile,
+		PET:      c.PET,
+		Scope:    c.Scope,
+		CUs:      c.CUs,
+		Analysis: c.Analysis,
+		Ranked:   c.Ranked,
+		Instrs:   c.Instrs,
+		ExecTime: c.ExecTime,
+		Times:    c.Times,
+	}
+}
+
+// SuggestionFor returns the report's suggestion covering the given loop
+// region, or nil.
+func (r *Report) SuggestionFor(reg *ir.Region) *discovery.Suggestion {
+	for _, s := range r.Ranked {
+		if s.Region == reg {
+			return s
+		}
+	}
+	return nil
+}

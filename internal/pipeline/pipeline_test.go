@@ -1,0 +1,137 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"discopop/internal/interp"
+	"discopop/internal/workloads"
+)
+
+// TestDefaultPipelineMatchesStageProducts runs the default pipeline and
+// checks that every stage filled in its product and recorded its time.
+func TestDefaultPipelineMatchesStageProducts(t *testing.T) {
+	prog := workloads.MustBuild("histogram", 1)
+	ctx := &Context{Mod: prog.M}
+	if err := New().Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Profile == nil || ctx.PET == nil || ctx.Scope == nil ||
+		ctx.CUs == nil || ctx.Analysis == nil || ctx.Ranked == nil {
+		t.Fatalf("missing stage products: %+v", ctx)
+	}
+	if ctx.Instrs == 0 {
+		t.Error("no instructions recorded")
+	}
+	if len(ctx.Times) != 5 {
+		t.Fatalf("want 5 stage times, got %d", len(ctx.Times))
+	}
+	for _, name := range []string{"profile", "build-pet", "build-cus", "discover", "rank"} {
+		found := false
+		for _, st := range ctx.Times {
+			if st.Stage == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("stage %s not timed", name)
+		}
+	}
+	rep := ctx.Report()
+	if rep.Profile != ctx.Profile || rep.Instrs != ctx.Instrs || len(rep.Times) != 5 {
+		t.Error("report does not reflect context products")
+	}
+}
+
+// TestProfilePipelineStopsAfterPET: the profile-only composition must not
+// build CUs or suggestions.
+func TestProfilePipelineStopsAfterPET(t *testing.T) {
+	prog := workloads.MustBuild("histogram", 1)
+	ctx := &Context{Mod: prog.M}
+	if err := ProfilePipeline().Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Profile == nil || ctx.PET == nil {
+		t.Fatal("profile products missing")
+	}
+	if ctx.CUs != nil || ctx.Analysis != nil || ctx.Ranked != nil {
+		t.Error("profile-only pipeline built phase-2/3 products")
+	}
+}
+
+// TestStageRequiresPredecessors: stages run out of order report errors
+// instead of panicking.
+func TestStageRequiresPredecessors(t *testing.T) {
+	prog := workloads.MustBuild("histogram", 1)
+	for _, pl := range []*Pipeline{
+		{Stages: []Stage{BuildPET{}}},
+		{Stages: []Stage{BuildCUs{}}},
+		{Stages: []Stage{Discover{}}},
+		{Stages: []Stage{Rank{}}},
+	} {
+		ctx := &Context{Mod: prog.M}
+		if err := pl.Run(ctx); err == nil {
+			t.Errorf("stage %s without predecessors did not fail", pl.Stages[0].Name())
+		}
+	}
+	if err := New().Run(&Context{}); err == nil ||
+		!strings.Contains(err.Error(), "no module") {
+		t.Error("nil module not rejected")
+	}
+}
+
+// TestCustomStageObservesContext: a caller-defined stage slots into the
+// sequence and sees upstream products.
+func TestCustomStageObservesContext(t *testing.T) {
+	prog := workloads.MustBuild("histogram", 1)
+	var sawDeps int
+	pl := New()
+	pl.Stages = append(pl.Stages, stageFunc{name: "audit", f: func(ctx *Context) error {
+		sawDeps = len(ctx.Profile.Deps)
+		return nil
+	}})
+	ctx := &Context{Mod: prog.M}
+	if err := pl.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if sawDeps == 0 {
+		t.Error("custom stage saw no dependences")
+	}
+	if ctx.Times[len(ctx.Times)-1].Stage != "audit" {
+		t.Error("custom stage not recorded in stage times")
+	}
+}
+
+type stageFunc struct {
+	name string
+	f    func(*Context) error
+}
+
+func (s stageFunc) Name() string           { return s.name }
+func (s stageFunc) Run(ctx *Context) error { return s.f(ctx) }
+
+// TestExtraTracersObserveExecution wires an auxiliary tracer into the
+// Profile stage and checks it saw the same access stream the profiler did.
+func TestExtraTracersObserveExecution(t *testing.T) {
+	prog := workloads.MustBuild("histogram", 1)
+	counter := &accessCounter{}
+	ctx := &Context{Mod: prog.M,
+		Opt: Options{ExtraTracers: []interp.Tracer{counter}}}
+	if err := ProfilePipeline().Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Profile.Accesses additionally counts variable-lifetime remove
+	// records, so compare against the engine's load+store totals.
+	if got := ctx.Profile.Skip.Reads + ctx.Profile.Skip.Writes; counter.n != got {
+		t.Errorf("extra tracer saw %d accesses, profiler processed %d", counter.n, got)
+	}
+}
+
+type accessCounter struct {
+	interp.BaseTracer
+	n int64
+}
+
+func (c *accessCounter) Load(interp.Access) { c.n++ }
+
+func (c *accessCounter) Store(interp.Access) { c.n++ }

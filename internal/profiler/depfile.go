@@ -58,6 +58,12 @@ func ParseDepFile(text string) (*DepFile, error) {
 		if line == "" {
 			continue
 		}
+		if strings.HasPrefix(line, "===") {
+			// Workload separator emitted by multi-workload dp-profile
+			// runs ("=== name ==="); the dependences on either side parse
+			// as one merged file.
+			continue
+		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("depfile line %d: malformed: %q", lineNo, line)

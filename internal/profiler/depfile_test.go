@@ -128,3 +128,20 @@ func TestParseDepFileSample(t *testing.T) {
 		t.Fatalf("variables not interned: %v", df.Vars)
 	}
 }
+
+// TestParseDepFileWorkloadSeparators: multi-workload dp-profile output
+// carries "=== name ===" separators, which the parser must skip.
+func TestParseDepFileWorkloadSeparators(t *testing.T) {
+	sample := `=== alpha ===
+1:60 NOM {RAW 1:60|i} {INIT *}
+=== beta ===
+1:74 NOM {RAW 1:41|block}
+`
+	df, err := ParseDepFile(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(df.Deps) != 3 {
+		t.Fatalf("parsed %d deps, want 3", len(df.Deps))
+	}
+}

@@ -78,6 +78,28 @@ type opSkip struct {
 	lastOrder bool
 }
 
+// opLayout maps static memory-operation IDs — positive ref/parameter ops
+// and the synthetic negative loop-header ops — into one dense index space:
+// positive op o at index o, negative op -k at index nPosOps+k. It is the
+// single source of truth for this layout, shared by the skip engine's
+// per-op state and the profiler's line counters.
+type opLayout struct {
+	nPosOps int32
+}
+
+func newOpLayout(nOps int32) opLayout { return opLayout{nPosOps: nOps + 1} }
+
+func (l opLayout) index(op int32) int32 {
+	if op >= 0 {
+		return op
+	}
+	return l.nPosOps + (-op)
+}
+
+// size returns the dense slice length covering nOps positive ops plus
+// nRegionOps synthetic negative ops.
+func (l opLayout) size(nRegionOps int32) int { return int(l.nPosOps) + int(nRegionOps) + 1 }
+
 type engine struct {
 	readS  sig.Store
 	writeS sig.Store
@@ -85,11 +107,10 @@ type engine struct {
 	tab    *ctxTable
 	mt     bool
 
-	// Skip optimization (enabled when ops != nil). Indexing: positive op o
-	// at ops[o]; loop-header ops -k at ops[nPosOps+k].
-	ops     []opSkip
-	nPosOps int32
-	stats   SkipStats
+	// Skip optimization (enabled when ops != nil), indexed via lay.
+	ops   []opSkip
+	lay   opLayout
+	stats SkipStats
 }
 
 func newEngine(readS, writeS sig.Store, tab *ctxTable, mt bool, skipOps, skipRegions int32) *engine {
@@ -101,18 +122,13 @@ func newEngine(readS, writeS sig.Store, tab *ctxTable, mt bool, skipOps, skipReg
 		mt:     mt,
 	}
 	if skipOps > 0 || skipRegions > 0 {
-		e.nPosOps = skipOps + 1
-		e.ops = make([]opSkip, e.nPosOps+skipRegions+1)
+		e.lay = newOpLayout(skipOps)
+		e.ops = make([]opSkip, e.lay.size(skipRegions))
 	}
 	return e
 }
 
-func (e *engine) opIdx(op int32) int32 {
-	if op >= 0 {
-		return op
-	}
-	return e.nPosOps + (-op)
-}
+func (e *engine) opIdx(op int32) int32 { return e.lay.index(op) }
 
 func (e *engine) entry(r *rec) sig.Entry {
 	return sig.Entry{Info: r.info, Ctx: r.ctx, Op: r.op, TS: r.ts}

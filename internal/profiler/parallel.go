@@ -53,20 +53,33 @@ type parallelPipe struct {
 	cur     []*chunk
 	wg      sync.WaitGroup
 
-	// Load balancing (Section 2.3.3): dynamic access statistics and a
-	// redistribution map that overrides the modulo assignment.
+	// Load balancing (Section 2.3.3): sampled dynamic access statistics
+	// and a redistribution map that overrides the modulo assignment. Only
+	// 1 in 1<<sampleShift accesses is counted — the balancer needs the
+	// relative ordering of the heaviest addresses, not exact counts, and a
+	// per-access map write is a measurable hot-path cost. The sampling
+	// decision comes from a (deterministically seeded) xorshift stream,
+	// not a fixed stride, so periodic access patterns whose length shares
+	// a factor with the sampling interval cannot systematically hide an
+	// address from the balancer.
 	counts       map[uint64]int64
+	rng          uint64
 	redist       map[uint64]int
 	chunksPushed int
 	// Rebalances counts performed redistributions (observability).
 	rebalances int
 }
 
+// sampleShift sets the access-count sampling rate for load rebalancing:
+// 1 in 2^6 = 64 accesses is counted.
+const sampleShift = 6
+
 func newParallelPipe(p *Profiler, nOps, nRegions int32) *parallelPipe {
 	w := p.opt.Workers
 	pp := &parallelPipe{
 		p:      p,
 		counts: make(map[uint64]int64),
+		rng:    0x9E3779B97F4A7C15,
 		redist: make(map[uint64]int),
 	}
 	for i := 0; i < w; i++ {
@@ -124,7 +137,12 @@ func (pp *parallelPipe) owner(addr uint64) int {
 
 func (pp *parallelPipe) produce(r rec) {
 	if r.kind == recLoad || r.kind == recStore {
-		pp.counts[r.addr]++
+		pp.rng ^= pp.rng << 13
+		pp.rng ^= pp.rng >> 7
+		pp.rng ^= pp.rng << 17
+		if pp.rng&(1<<sampleShift-1) == 0 {
+			pp.counts[r.addr]++
+		}
 	}
 	w := pp.owner(r.addr)
 	c := pp.cur[w]

@@ -67,15 +67,29 @@ type Profiler struct {
 	loopStack [interp.MaxThreads][]int32
 
 	regions map[int]*RegionExec
-	lines   map[ir.Loc]int64
 	funcs   map[*ir.Func]int64
 	depth   [interp.MaxThreads]int
 	total   int64
+
+	// Per-line access counting, hot-path form: a dense counter slice
+	// indexed by static memory-operation ID (the opLayout the skip
+	// optimization also uses) instead of a per-access map write. opLocs
+	// remembers each operation's access location on first touch; Result
+	// folds the counters back into the per-line map. spillLines catches
+	// the pathological case of an expression node shared between
+	// statements (one op observed at two locations).
+	lay        opLayout
+	lineCounts []int64
+	opLocs     []ir.Loc
+	spillLines map[ir.Loc]int64
 
 	eng *engine // serial mode
 
 	par *parallelPipe // sequential-target parallel mode
 	mtp *mtPipe       // multi-threaded-target mode
+
+	stopped bool
+	engines []*engine
 
 	accesses int64
 }
@@ -85,14 +99,16 @@ type Profiler struct {
 func New(m *ir.Module, opt Options) *Profiler {
 	opt.defaults()
 	p := &Profiler{mod: m, opt: opt, tab: &ctxTable{},
-		regions: map[int]*RegionExec{}, lines: map[ir.Loc]int64{},
-		funcs: map[*ir.Func]int64{}}
+		regions: map[int]*RegionExec{}, funcs: map[*ir.Func]int64{}}
 	for i := range p.cur {
 		p.cur[i] = -1
 	}
 	nOps := interp.PrepareOps(m)
 	// Loop headers use four synthetic negative op IDs per region.
 	nRegions := 4*int32(len(m.Regions)) + 4
+	p.lay = newOpLayout(nOps)
+	p.lineCounts = make([]int64, p.lay.size(nRegions))
+	p.opLocs = make([]ir.Loc, len(p.lineCounts))
 	switch {
 	case opt.MT:
 		p.mtp = newMTPipe(p, nOps, nRegions)
@@ -136,9 +152,28 @@ func (p *Profiler) route(r rec) {
 	}
 }
 
+// countLine counts one access against its source line. The common path is
+// one dense-slice increment; the first access of each operation records
+// its location, and the (never-expected) case of one operation observed at
+// two locations spills to a map.
+func (p *Profiler) countLine(op int32, loc ir.Loc) {
+	i := p.lay.index(op)
+	if p.opLocs[i] != loc {
+		if p.opLocs[i].File != 0 {
+			if p.spillLines == nil {
+				p.spillLines = map[ir.Loc]int64{}
+			}
+			p.spillLines[loc]++
+			return
+		}
+		p.opLocs[i] = loc
+	}
+	p.lineCounts[i]++
+}
+
 // Load implements interp.Tracer.
 func (p *Profiler) Load(a interp.Access) {
-	p.lines[a.Loc]++
+	p.countLine(a.Op, a.Loc)
 	p.route(rec{
 		addr: a.Addr,
 		info: packInfo(a.Loc, int32(a.Var.ID), a.Thread),
@@ -151,7 +186,7 @@ func (p *Profiler) Load(a interp.Access) {
 
 // Store implements interp.Tracer.
 func (p *Profiler) Store(a interp.Access) {
-	p.lines[a.Loc]++
+	p.countLine(a.Op, a.Loc)
 	p.route(rec{
 		addr: a.Addr,
 		info: packInfo(a.Loc, int32(a.Var.ID), a.Thread),
@@ -244,29 +279,53 @@ func (p *Profiler) ThreadEnd(tid int32) {
 	}
 }
 
+// Stop terminates the worker pipelines (if any). It is idempotent; Result
+// calls it internally. Call it directly when the profiled execution
+// unwinds with a panic and no result will be produced — otherwise the
+// pipeline workers' spin loops outlive the run and burn CPU for the rest
+// of the process.
+func (p *Profiler) Stop() { p.stop() }
+
+// stop terminates the pipelines and returns their engines for merging.
+func (p *Profiler) stop() []*engine {
+	if p.stopped {
+		return p.engines
+	}
+	p.stopped = true
+	switch {
+	case p.mtp != nil:
+		p.engines = p.mtp.finish()
+	case p.par != nil:
+		p.engines = p.par.finish()
+	default:
+		p.engines = []*engine{p.eng}
+	}
+	return p.engines
+}
+
 // Result terminates the pipeline (if any), merges the thread-local
 // dependence maps into the global map (Figure 2.2), and returns the
 // profiling result.
 func (p *Profiler) Result() *Result {
+	lines := make(map[ir.Loc]int64)
+	for i, n := range p.lineCounts {
+		if n != 0 {
+			lines[p.opLocs[i]] += n
+		}
+	}
+	for loc, n := range p.spillLines {
+		lines[loc] += n
+	}
 	res := &Result{
 		Mod:         p.mod,
 		Deps:        map[Dep]int64{},
 		Regions:     p.regions,
-		Lines:       p.lines,
+		Lines:       lines,
 		FuncInstrs:  p.funcs,
 		TotalInstrs: p.total,
 		Accesses:    p.accesses,
 	}
-	var engines []*engine
-	switch {
-	case p.mtp != nil:
-		engines = p.mtp.finish()
-	case p.par != nil:
-		engines = p.par.finish()
-	default:
-		engines = []*engine{p.eng}
-	}
-	for _, e := range engines {
+	for _, e := range p.stop() {
 		for d, n := range e.deps {
 			res.Deps[d] += n
 		}

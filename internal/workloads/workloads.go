@@ -16,6 +16,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"discopop/internal/ir"
 )
@@ -88,6 +89,29 @@ func Suites() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// BuildBatch builds a comma-separated workload list ("all" for every
+// bundled workload) at the given scale — the shared spec syntax of the
+// multi-workload CLIs.
+func BuildBatch(spec string, scale int) ([]*Program, error) {
+	var names []string
+	if spec == "all" {
+		names = Names("")
+	} else {
+		for _, n := range strings.Split(spec, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	progs := make([]*Program, 0, len(names))
+	for _, n := range names {
+		p, err := Build(n, scale)
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+	return progs, nil
 }
 
 // Build constructs the named workload.
