@@ -8,6 +8,7 @@
 //	dp-experiments -run table4.1    # run one experiment
 //	dp-experiments -scale 2         # larger workloads
 //	dp-experiments -par 8           # 8 concurrent jobs in discovery sweeps
+//	dp-experiments -cache=false     # re-profile every sweep (no memoization)
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"discopop"
 	"discopop/internal/experiments"
 )
 
@@ -24,9 +26,13 @@ func main() {
 		run   = flag.String("run", "", "experiment ID to run (e.g. table2.6, fig2.9); empty = all")
 		scale = flag.Int("scale", 1, "workload scale factor")
 		par   = flag.Int("par", 0, "concurrent analysis jobs in the ch4/ch5 discovery sweeps (0 = one per CPU)")
+		cache = flag.Bool("cache", true, "share one Profile-stage cache across the discovery sweeps (ch4/ch5 tables re-analyzing a workload skip re-profiling)")
 	)
 	flag.Parse()
 	experiments.BatchWorkers = *par
+	if *cache {
+		experiments.Cache = discopop.NewProfileCache()
+	}
 	type exp struct {
 		id string
 		f  func() *experiments.Result
@@ -69,5 +75,10 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
+	}
+	if experiments.Cache != nil {
+		hits, misses := experiments.Cache.Stats()
+		fmt.Printf("profile cache: %d hits, %d misses (each hit skipped one instrumented re-execution)\n",
+			hits, misses)
 	}
 }

@@ -93,6 +93,13 @@ type (
 	Engine = pipeline.Engine
 	// FleetStats aggregates counters across an engine's completed jobs.
 	FleetStats = pipeline.FleetStats
+	// ProfileCache memoizes the Profile stage across jobs keyed by
+	// (Options.CacheKey, profiling options): sweeps that re-analyze the
+	// same workload skip re-profiling entirely.
+	ProfileCache = pipeline.ProfileCache
+	// DepShards is a concurrency-safe dependence accumulator sharded by
+	// sink location (fleet-level merged dependences).
+	DepShards = profiler.DepShards
 )
 
 // Suggestion kinds, re-exported.
@@ -134,6 +141,14 @@ func AnalyzeAllStats(jobs []Job, opt Options) ([]*JobResult, FleetStats) {
 // goroutine, range over Results in another, Close after the last Submit.
 func NewEngine(opt Options) *Engine {
 	return pipeline.NewEngine(opt)
+}
+
+// NewProfileCache returns an empty Profile-stage cache. Share one instance
+// across the Options of every job in a sweep (set Options.Cache and a
+// per-workload Options.CacheKey); jobs with identical (CacheKey, Profiler
+// options) then profile once.
+func NewProfileCache() *ProfileCache {
+	return pipeline.NewProfileCache()
 }
 
 // ProfileOnly runs just Phase 1 and returns the profiling result.

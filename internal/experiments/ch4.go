@@ -11,10 +11,16 @@ import (
 	"discopop/internal/workloads"
 )
 
-// analyze runs the full discovery pipeline on a single workload. Sweeps
-// over whole suites batch through analyzeNamed instead.
-func analyze(prog *workloads.Program) *discopop.Report {
-	return discopop.Analyze(prog.M, discopop.Options{})
+// analyzeOne runs the full discovery pipeline on a single workload,
+// through the sweep cache when active. Sweeps over whole suites batch
+// through analyzeNamed instead.
+func analyzeOne(name string, scale int) (*workloads.Program, *discopop.Report) {
+	prog := buildWorkload(name, scale)
+	opt := jobOpt(name, scale)
+	if opt == nil {
+		opt = &discopop.Options{}
+	}
+	return prog, discopop.Analyze(prog.M, *opt)
 }
 
 func isParallelKind(k discovery.Kind) bool {
@@ -173,8 +179,7 @@ func max64(a, b int64) int64 {
 // Table4_3 lists the ranked suggestions for the histogram program.
 func Table4_3(scale int) *Result {
 	res := &Result{ID: "table4.3", Title: "Suggestions for histogram visualization"}
-	prog := workloads.MustBuild("histogram", scale)
-	rep := analyze(prog)
+	_, rep := analyzeOne("histogram", scale)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-4s %-18s %-12s %10s %10s %10s\n",
 		"rank", "kind", "location", "coverage", "speedup", "score")
@@ -205,11 +210,11 @@ func Table4_4(scale int) *Result {
 	// be discarded.
 	var progs []*workloads.Program
 	for _, name := range append(workloads.Names("Starbench"), workloads.Names("NAS")...) {
-		if p := workloads.MustBuild(name, scale); p.Truth.Hot != nil {
+		if p := buildWorkload(name, scale); p.Truth.Hot != nil {
 			progs = append(progs, p)
 		}
 	}
-	reps := analyzePrograms(progs)
+	reps := analyzePrograms(progs, scale)
 	match, total := 0, 0
 	for i, prog := range progs {
 		name, rep := prog.Name, reps[i]
@@ -385,8 +390,7 @@ func Table4_7(scale int) *Result {
 // thread count, saturating near the paper's 9.92 at 32 threads.
 func Fig4_11(scale int) *Result {
 	res := &Result{ID: "fig4.11", Title: "FaceDetection speedups vs. number of threads"}
-	prog := workloads.MustBuild("facedetection", scale)
-	rep := analyze(prog)
+	prog, rep := analyzeOne("facedetection", scale)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%8s %10s\n", "threads", "speedup")
 	for _, p := range []int{1, 2, 4, 8, 16, 32} {

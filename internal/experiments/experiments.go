@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"discopop"
@@ -66,15 +67,62 @@ const timingRuns = 3
 // concurrent jobs would perturb their wall-clock measurements.
 var BatchWorkers = 0
 
+// Cache, when non-nil, memoizes the Profile stage across the discovery
+// sweeps: the ch4/ch5 tables re-analyze the same workloads with identical
+// profiling options, so every sweep after the first skips re-profiling.
+// cmd/dp-experiments shares one cache across the whole run. Timing
+// experiments (fig2.x) bypass the pipeline and are never cached.
+//
+// Caching also memoizes workload construction per (name, scale): cached
+// reports point into the module instance that was profiled, and the
+// ground-truth comparisons (Truth regions, SuggestionFor) match regions by
+// pointer, so program and report must share one module.
+var Cache *discopop.ProfileCache
+
+var (
+	progMu    sync.Mutex
+	progCache = map[string]*workloads.Program{}
+)
+
+func cacheKey(name string, scale int) string {
+	return fmt.Sprintf("%s@%d", name, scale)
+}
+
+// buildWorkload builds a workload, memoized per (name, scale) when the
+// profile cache is active.
+func buildWorkload(name string, scale int) *workloads.Program {
+	if Cache == nil {
+		return workloads.MustBuild(name, scale)
+	}
+	key := cacheKey(name, scale)
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p := progCache[key]; p != nil {
+		return p
+	}
+	p := workloads.MustBuild(name, scale)
+	progCache[key] = p
+	return p
+}
+
+// jobOpt returns the per-job pipeline options: cache wiring when the sweep
+// cache is active, defaults otherwise.
+func jobOpt(name string, scale int) *discopop.Options {
+	if Cache == nil {
+		return nil
+	}
+	return &discopop.Options{Cache: Cache, CacheKey: cacheKey(name, scale)}
+}
+
 // analyzeNamed builds the named workloads and analyzes them concurrently
 // through the batch engine, returning programs and reports in the order of
 // names.
 func analyzeNamed(names []string, scale int) ([]*workloads.Program, []*discopop.Report) {
 	progs := make([]*workloads.Program, len(names))
 	for i, name := range names {
-		progs[i] = workloads.MustBuild(name, scale)
+		progs[i] = buildWorkload(name, scale)
 	}
-	return progs, analyzePrograms(progs)
+	return progs, analyzePrograms(progs, scale)
 }
 
 // analyzeStream analyzes the named workloads concurrently and invokes fn
@@ -87,12 +135,12 @@ func analyzeStream(names []string, scale int,
 	fn func(i int, prog *workloads.Program, rep *discopop.Report)) {
 	progs := make([]*workloads.Program, len(names))
 	for i, name := range names {
-		progs[i] = workloads.MustBuild(name, scale)
+		progs[i] = buildWorkload(name, scale)
 	}
 	e := discopop.NewEngine(discopop.Options{BatchWorkers: BatchWorkers})
 	go func() {
 		for i, name := range names {
-			e.Submit(discopop.Job{Name: name, Mod: progs[i].M})
+			e.Submit(discopop.Job{Name: name, Mod: progs[i].M, Opt: jobOpt(name, scale)})
 		}
 		e.Close()
 	}()
@@ -106,11 +154,13 @@ func analyzeStream(names []string, scale int,
 
 // analyzePrograms analyzes prebuilt workloads concurrently through the
 // batch engine, returning reports in program order. A failing job panics:
-// the evaluation workloads are all expected to analyze cleanly.
-func analyzePrograms(progs []*workloads.Program) []*discopop.Report {
+// the evaluation workloads are all expected to analyze cleanly. Programs
+// must come from buildWorkload at the same scale for the sweep cache to
+// apply.
+func analyzePrograms(progs []*workloads.Program, scale int) []*discopop.Report {
 	jobs := make([]discopop.Job, len(progs))
 	for i, p := range progs {
-		jobs[i] = discopop.Job{Name: p.Name, Mod: p.M}
+		jobs[i] = discopop.Job{Name: p.Name, Mod: p.M, Opt: jobOpt(p.Name, scale)}
 	}
 	results := discopop.AnalyzeAll(jobs, discopop.Options{BatchWorkers: BatchWorkers})
 	reps := make([]*discopop.Report, len(progs))

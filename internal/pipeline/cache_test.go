@@ -1,0 +1,171 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"discopop/internal/interp"
+	"discopop/internal/profiler"
+	"discopop/internal/workloads"
+)
+
+// TestProfileCacheSkipsSecondProfiling is the contract of the Profile-stage
+// cache: the second analysis of an identical (module key, profiling
+// options) pair must not re-run the instrumented execution — it reuses the
+// recorded profile and PET — and must produce an identical report.
+func TestProfileCacheSkipsSecondProfiling(t *testing.T) {
+	cache := NewProfileCache()
+	opt := Options{Cache: cache, CacheKey: "histogram@1"}
+	run := func() *Context {
+		ctx := &Context{Mod: workloads.MustBuild("histogram", 1).M, Opt: opt}
+		if err := New().Run(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return ctx
+	}
+	first := run()
+	if first.CacheHit {
+		t.Fatal("first analysis reported a cache hit")
+	}
+	second := run()
+	if !second.CacheHit {
+		t.Fatal("second analysis of an identical (module, options) pair re-profiled")
+	}
+	// Skipping profiling means replaying the recorded products, not
+	// recomputing equal ones: the profile and PET are the same instances.
+	if second.Profile != first.Profile {
+		t.Error("cache hit delivered a different profile instance")
+	}
+	if second.PET != first.PET {
+		t.Error("cache hit delivered a different PET instance")
+	}
+	if second.Prof != nil {
+		t.Error("cache hit still constructed a profiler")
+	}
+	// Downstream stages re-run per job and agree on the cached module.
+	if second.Mod != first.Mod {
+		t.Error("cache hit did not make the profiled module authoritative")
+	}
+	if !reflect.DeepEqual(depCounts(first), depCounts(second)) {
+		t.Error("cached analysis changed the dependence set")
+	}
+	if len(second.Ranked) != len(first.Ranked) {
+		t.Errorf("cached analysis ranked %d suggestions, want %d",
+			len(second.Ranked), len(first.Ranked))
+	}
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+func depCounts(ctx *Context) map[profiler.Dep]int64 { return ctx.Profile.Deps }
+
+// TestProfileCacheDistinguishesOptions: the same module key with different
+// profiling options must profile separately.
+func TestProfileCacheDistinguishesOptions(t *testing.T) {
+	cache := NewProfileCache()
+	base := Options{Cache: cache, CacheKey: "kmeans@1"}
+	skip := base
+	skip.Profiler.Skip = true
+	for _, o := range []Options{base, skip} {
+		ctx := &Context{Mod: workloads.MustBuild("kmeans", 1).M, Opt: o}
+		if err := New().Run(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if ctx.CacheHit {
+			t.Fatalf("options %+v: unexpected cache hit", o.Profiler)
+		}
+	}
+	if hits, misses := cache.Stats(); hits != 0 || misses != 2 {
+		t.Errorf("cache stats = %d hits / %d misses, want 0/2", hits, misses)
+	}
+}
+
+// TestProfileCacheIgnoredWithExtraTracers: jobs carrying extra tracers
+// must always execute, or their tracers would observe nothing.
+func TestProfileCacheIgnoredWithExtraTracers(t *testing.T) {
+	cache := NewProfileCache()
+	counter := &loadCounter{}
+	opt := Options{Cache: cache, CacheKey: "histogram@1",
+		ExtraTracers: []interp.Tracer{counter}}
+	for i := 0; i < 2; i++ {
+		ctx := &Context{Mod: workloads.MustBuild("histogram", 1).M, Opt: opt}
+		if err := New().Run(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if ctx.CacheHit {
+			t.Fatal("job with extra tracers served from cache")
+		}
+	}
+	if counter.loads == 0 {
+		t.Fatal("extra tracer observed no execution")
+	}
+	if hits, misses := cache.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("cache consulted for uncacheable jobs: %d hits / %d misses", hits, misses)
+	}
+}
+
+type loadCounter struct {
+	interp.BaseTracer
+	loads int64
+}
+
+func (c *loadCounter) Load(interp.Access) { c.loads++ }
+
+// TestEngineCountsCacheHits: batch jobs sharing one cache coalesce on one
+// profiled execution, and the fleet stats report the hits.
+func TestEngineCountsCacheHits(t *testing.T) {
+	cache := NewProfileCache()
+	mod := workloads.MustBuild("histogram", 1).M
+	opt := Options{Cache: cache, CacheKey: "histogram@1"}
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		// All jobs share the module: only the first to claim the cache
+		// entry executes it, the rest reuse the recorded profile.
+		jobs[i] = Job{Name: "histogram", Mod: mod, Opt: &opt}
+	}
+	results, stats := AnalyzeAllStats(jobs, Options{})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if _, misses := cache.Stats(); misses != 1 {
+		t.Fatalf("expected exactly one profiled execution, got %d", misses)
+	}
+	if stats.CacheHits != len(jobs)-1 {
+		t.Fatalf("FleetStats.CacheHits = %d, want %d", stats.CacheHits, len(jobs)-1)
+	}
+}
+
+// TestFleetDepsStreamsJobDeps: with CollectFleetDeps on, the engine's
+// sharded accumulator holds the sum of every job's dependences.
+func TestFleetDepsStreamsJobDeps(t *testing.T) {
+	names := []string{"histogram", "kmeans", "EP"}
+	jobs := make([]Job, len(names))
+	for i, name := range names {
+		jobs[i] = Job{Name: name, Mod: workloads.MustBuild(name, 1).M}
+	}
+	e := NewEngineWith(New(), Options{CollectFleetDeps: true})
+	go func() {
+		for _, j := range jobs {
+			e.Submit(j)
+		}
+		e.Close()
+	}()
+	want := map[profiler.Dep]int64{}
+	for r := range e.Results() {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		for d, n := range r.Report.Profile.Deps {
+			want[d] += n
+		}
+	}
+	if got := e.FleetDeps(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fleet deps diverge: %d vs %d entries", len(got), len(want))
+	}
+	if stats := e.Stats(); stats.DistinctDeps != len(want) {
+		t.Fatalf("FleetStats.DistinctDeps = %d, want %d", stats.DistinctDeps, len(want))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"discopop/internal/ir"
+	"discopop/internal/profiler"
 )
 
 // Job is one unit of batch work: a module to analyze, identified by name.
@@ -56,6 +57,12 @@ type FleetStats struct {
 	Busy time.Duration
 	// StageTime is the summed wall time per stage name.
 	StageTime map[string]time.Duration
+	// CacheHits counts jobs whose Profile stage was served from a
+	// ProfileCache (no instrumented execution ran).
+	CacheHits int
+	// DistinctDeps is the number of distinct dependences in the fleet-level
+	// sharded accumulator (0 unless Options.CollectFleetDeps is set).
+	DistinctDeps int
 }
 
 // Engine fans analysis jobs across a bounded worker pool and streams
@@ -91,6 +98,11 @@ type Engine struct {
 
 	mu    sync.Mutex // guards stats
 	stats FleetStats
+
+	// fleetDeps accumulates every completed job's dependences, sharded by
+	// sink location so concurrent workers stream their merges instead of
+	// serializing on one map (nil unless Options.CollectFleetDeps).
+	fleetDeps *profiler.DepShards
 }
 
 // NewEngine starts an engine running the default five-stage pipeline with
@@ -125,6 +137,9 @@ func NewEngineWith(pl *Pipeline, opt Options) *Engine {
 		pipeline: pl,
 		jobs:     make(chan Job, workers),
 		results:  make(chan *JobResult, workers),
+	}
+	if opt.CollectFleetDeps {
+		e.fleetDeps = profiler.NewDepShards(0)
 	}
 	e.stats.StageTime = map[string]time.Duration{}
 	e.wg.Add(workers)
@@ -170,13 +185,26 @@ func (e *Engine) Close() {
 // Stats returns a snapshot of the fleet-level counters accumulated so far.
 func (e *Engine) Stats() FleetStats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	s := e.stats
 	s.StageTime = make(map[string]time.Duration, len(e.stats.StageTime))
 	for k, v := range e.stats.StageTime {
 		s.StageTime[k] = v
 	}
+	e.mu.Unlock()
+	if e.fleetDeps != nil {
+		s.DistinctDeps = e.fleetDeps.Distinct()
+	}
 	return s
+}
+
+// FleetDeps materializes the fleet-level dependence accumulator (nil when
+// Options.CollectFleetDeps is off). Counts are summed across all completed
+// jobs.
+func (e *Engine) FleetDeps() map[profiler.Dep]int64 {
+	if e.fleetDeps == nil {
+		return nil
+	}
+	return e.fleetDeps.Snapshot()
 }
 
 func (e *Engine) run() {
@@ -217,8 +245,13 @@ func (e *Engine) runJob(j Job) (res *JobResult) {
 	return res
 }
 
-// record folds one finished job into the fleet stats.
+// record folds one finished job into the fleet stats. The dependence merge
+// happens before the stats lock is taken: it contends only on the sink
+// shard being written, so concurrent workers stream their merges.
 func (e *Engine) record(res *JobResult, ctx *Context) {
+	if e.fleetDeps != nil && ctx != nil && ctx.Profile != nil {
+		e.fleetDeps.Merge(ctx.Profile.Deps)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.stats.Jobs++
@@ -228,6 +261,9 @@ func (e *Engine) record(res *JobResult, ctx *Context) {
 	}
 	if ctx == nil {
 		return
+	}
+	if ctx.CacheHit {
+		e.stats.CacheHits++
 	}
 	e.stats.Instrs += ctx.Instrs
 	if ctx.Profile != nil {

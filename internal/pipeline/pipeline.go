@@ -57,6 +57,19 @@ type Options struct {
 	// jobs sharing one Options value would invoke them from several
 	// goroutines at once.
 	ExtraTracers []interp.Tracer
+	// Cache, when non-nil together with a CacheKey, memoizes the Profile
+	// stage: a job whose (CacheKey, Profiler) pair was analyzed before
+	// reuses the recorded profile and PET and skips the instrumented
+	// execution entirely. Jobs with ExtraTracers never use the cache —
+	// their tracers must observe a real execution.
+	Cache *ProfileCache
+	// CacheKey identifies the module for cache lookups (e.g. "CG@1").
+	// Empty disables caching for the job.
+	CacheKey string
+	// CollectFleetDeps makes the Engine stream every completed job's
+	// dependence map into a fleet-level sharded accumulator, available
+	// through Engine.FleetDeps and counted in FleetStats.DistinctDeps.
+	CollectFleetDeps bool
 }
 
 // Context carries one job through the stages. Each stage reads the products
@@ -80,6 +93,10 @@ type Context struct {
 	CUs      *cu.Graph
 	Analysis *discovery.Analysis
 	Ranked   []*discovery.Suggestion
+
+	// CacheHit reports that the Profile stage was served from the cache
+	// (no instrumented execution ran for this job).
+	CacheHit bool
 
 	// Times records per-stage wall time in execution order.
 	Times []StageTime
@@ -153,6 +170,22 @@ func (Profile) Name() string { return "profile" }
 
 // Run implements Stage.
 func (Profile) Run(ctx *Context) error {
+	if c := ctx.Opt.Cache; c != nil && ctx.Opt.CacheKey != "" && len(ctx.Opt.ExtraTracers) == 0 {
+		e, hit := c.lookup(ctx.Opt.CacheKey, ctx.Opt.Profiler, ctx.Mod)
+		if e.err != nil {
+			return e.err
+		}
+		// The profiled module instance is authoritative: downstream stages
+		// must resolve regions and functions against the module the
+		// dependences and the PET point into.
+		ctx.CacheHit = hit
+		ctx.Mod = e.mod
+		ctx.Profile = e.res
+		ctx.PET = e.tree
+		ctx.Instrs = e.instrs
+		ctx.ExecTime = e.execTime
+		return nil
+	}
 	ctx.Prof = profiler.New(ctx.Mod, ctx.Opt.Profiler)
 	// If the interpreter panics (runtime error in the target program),
 	// shut the profiler's worker pipelines down before unwinding: their
@@ -163,14 +196,33 @@ func (Profile) Run(ctx *Context) error {
 			ctx.Prof.Stop()
 		}
 	}()
-	ctx.PETBuilder = pet.NewBuilder()
-	tracers := append([]interp.Tracer{ctx.Prof, ctx.PETBuilder}, ctx.Opt.ExtraTracers...)
-	in := interp.New(ctx.Mod, &interp.MultiTracer{Tracers: tracers})
-	start := time.Now()
-	ctx.Instrs = in.Run()
-	ctx.ExecTime = time.Since(start)
+	ctx.PETBuilder, ctx.Instrs, ctx.ExecTime = execInstrumented(ctx.Mod, ctx.Prof, ctx.Opt.ExtraTracers)
 	ctx.Profile = ctx.Prof.Result()
 	return nil
+}
+
+// execInstrumented runs mod under prof and a fresh PET builder (plus any
+// extra tracers) observing one event stream — the Phase-1 execution shared
+// by the Profile stage and the ProfileCache.
+func execInstrumented(mod *ir.Module, prof *profiler.Profiler, extra []interp.Tracer) (*pet.Builder, int64, time.Duration) {
+	pb := pet.NewBuilder()
+	tracers := append([]interp.Tracer{prof, pb}, extra...)
+	in := interp.New(mod, &interp.MultiTracer{Tracers: tracers})
+	start := time.Now()
+	instrs := in.Run()
+	return pb, instrs, time.Since(start)
+}
+
+// buildTree finalizes the PET and annotates it with the profile's per-sink
+// dependence counts — the BuildPET product, shared with the ProfileCache.
+func buildTree(pb *pet.Builder, instrs int64, profile *profiler.Result) *pet.Tree {
+	sinks := make(map[ir.Loc]int64, len(profile.Deps))
+	for d, n := range profile.Deps {
+		sinks[d.Sink] += n
+	}
+	tree := pb.Tree(instrs)
+	tree.AttachDeps(sinks)
+	return tree
 }
 
 // BuildPET finalizes the Program Execution Tree and annotates it with the
@@ -182,15 +234,15 @@ func (BuildPET) Name() string { return "build-pet" }
 
 // Run implements Stage.
 func (BuildPET) Run(ctx *Context) error {
+	if ctx.PET != nil {
+		// Already built (cached Profile stage delivered the finished,
+		// dependence-annotated tree).
+		return nil
+	}
 	if ctx.PETBuilder == nil || ctx.Profile == nil {
 		return errors.New("requires the profile stage")
 	}
-	sinks := map[ir.Loc]int64{}
-	for d, n := range ctx.Profile.Deps {
-		sinks[d.Sink] += n
-	}
-	ctx.PET = ctx.PETBuilder.Tree(ctx.Instrs)
-	ctx.PET.AttachDeps(sinks)
+	ctx.PET = buildTree(ctx.PETBuilder, ctx.Instrs, ctx.Profile)
 	return nil
 }
 
@@ -260,8 +312,11 @@ type Report struct {
 	Ranked []*discovery.Suggestion
 	// Instrs is the number of executed IR statements.
 	Instrs int64
-	// ExecTime is the wall time of the instrumented execution alone.
+	// ExecTime is the wall time of the instrumented execution alone. For a
+	// cache-served job this is the recorded time of the original run.
 	ExecTime time.Duration
+	// CacheHit reports that the profile was served from a ProfileCache.
+	CacheHit bool
 	// Times records per-stage wall time in execution order.
 	Times []StageTime
 }
@@ -289,6 +344,7 @@ func (c *Context) Report() *Report {
 		Ranked:   c.Ranked,
 		Instrs:   c.Instrs,
 		ExecTime: c.ExecTime,
+		CacheHit: c.CacheHit,
 		Times:    c.Times,
 	}
 }

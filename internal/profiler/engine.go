@@ -8,8 +8,16 @@ import (
 // engine executes the signature-based dependence-detection algorithm
 // (Algorithm 2) over a stream of access records. One engine exists per
 // worker thread (or one in total for serial profiling); each owns a read
-// signature, a write signature, and a thread-local dependence map, exactly
+// signature, a write signature, and a thread-local dependence table, exactly
 // as in Figure 2.2.
+//
+// The engine is generic over the concrete store type: the per-access
+// Get/Put/Remove calls of the hot loop compile to direct (inlinable) calls
+// into sig.Perfect or sig.Signature instead of dynamic dispatch through the
+// sig.Store interface — three interface calls per load and four per store
+// in the seed implementation. The stores are embedded by value so each
+// store kind gets its own instantiation (distinct gcshapes) and the engine,
+// its stores, and its skip state share one allocation.
 
 // Access-record kinds.
 const (
@@ -100,10 +108,30 @@ func (l opLayout) index(op int32) int32 {
 // nRegionOps synthetic negative ops.
 func (l opLayout) size(nRegionOps int32) int { return int(l.nPosOps) + int(nRegionOps) + 1 }
 
-type engine struct {
-	readS  sig.Store
-	writeS sig.Store
-	deps   map[Dep]int64
+// storeOps constrains PS to "pointer to concrete store type S" with the
+// per-access operations, so that a generic engine instantiated for S calls
+// them directly.
+type storeOps[S any] interface {
+	*S
+	Get(addr uint64) sig.Entry
+	Put(addr uint64, e sig.Entry)
+	Remove(addr uint64)
+	MemBytes() int64
+}
+
+// engineDump is the non-generic view of a finished engine that Result
+// merges: the packed dependence table, the skip counters, and the store
+// footprint.
+type engineDump struct {
+	deps  *depTable
+	stats *SkipStats
+	bytes int64
+}
+
+type engine[S any, PS storeOps[S]] struct {
+	readS  S
+	writeS S
+	deps   depTable
 	tab    *ctxTable
 	mt     bool
 
@@ -113,11 +141,11 @@ type engine struct {
 	stats SkipStats
 }
 
-func newEngine(readS, writeS sig.Store, tab *ctxTable, mt bool, skipOps, skipRegions int32) *engine {
-	e := &engine{
+func newEngine[S any, PS storeOps[S]](readS, writeS S, tab *ctxTable, mt bool, skipOps, skipRegions int32) *engine[S, PS] {
+	e := &engine[S, PS]{
 		readS:  readS,
 		writeS: writeS,
-		deps:   make(map[Dep]int64),
+		deps:   newDepTable(),
 		tab:    tab,
 		mt:     mt,
 	}
@@ -128,9 +156,22 @@ func newEngine(readS, writeS sig.Store, tab *ctxTable, mt bool, skipOps, skipReg
 	return e
 }
 
-func (e *engine) opIdx(op int32) int32 { return e.lay.index(op) }
+func (e *engine[S, PS]) rd() PS { return PS(&e.readS) }
+func (e *engine[S, PS]) wr() PS { return PS(&e.writeS) }
 
-func (e *engine) entry(r *rec) sig.Entry {
+// dump exposes the engine's merge-time products.
+func (e *engine[S, PS]) dump() engineDump {
+	return engineDump{deps: &e.deps, stats: &e.stats,
+		bytes: e.rd().MemBytes() + e.wr().MemBytes()}
+}
+
+// depsMap materializes the packed dependence table (tests and single-engine
+// inspection).
+func (e *engine[S, PS]) depsMap() map[Dep]int64 { return e.deps.materialize() }
+
+func (e *engine[S, PS]) opIdx(op int32) int32 { return e.lay.index(op) }
+
+func (e *engine[S, PS]) entry(r *rec) sig.Entry {
 	return sig.Entry{Info: r.info, Ctx: r.ctx, Op: r.op, TS: r.ts}
 }
 
@@ -142,50 +183,55 @@ func (e *engine) entry(r *rec) sig.Entry {
 // signature false positives bounded by line-pair combinations rather than
 // by colliding address pairs (compare Figure 2.1: "1:65 NOM {WAR
 // 1:67|temp2}" names temp2, the variable written at the 1:65 sink).
-func (e *engine) addDep(t DepType, r *rec, src sig.Entry) {
-	d := Dep{Sink: unpackLoc(r.info), Type: t, Var: -1, SinkThr: -1, SrcThr: -1, CarriedBy: -1}
+//
+// The dependence identity is assembled directly from the packed access
+// info words — the sink/source location halves are single shifts of
+// r.info/src.Info — and merged into the packed accumulator; no Dep struct
+// or map insert exists on this path.
+func (e *engine[S, PS]) addDep(t DepType, r *rec, src sig.Entry) {
+	hi := r.info &^ 0xFFFFFFFF // sink file|line in the upper half
+	lo := uint64(t) << depTypeShift
 	if t != INIT {
-		d.Source = unpackLoc(src.Info)
-		d.Var = unpackVar(r.info)
+		hi |= src.Info >> 32 // source file|line in the lower half
+		lo |= (r.info >> 16 & 0xFFFF) << depVarShift
 		if e.mt {
-			d.SinkThr = unpackThread(r.info)
-			d.SrcThr = unpackThread(src.Info)
+			lo |= depHasThrBit |
+				(r.info>>8&0xFF)<<depSinkThrShift |
+				(src.Info>>8&0xFF)<<depSrcThrShift
 		}
-		carriedRegion, carried := e.tab.carriedBy(r.ctx, src.Ctx)
-		d.Carried = carried
-		if carried {
-			d.CarriedBy = carriedRegion
+		if carriedRegion, carried := e.tab.carriedBy(r.ctx, src.Ctx); carried {
+			lo |= depCarriedBit | uint64(uint32(carriedRegion+1))&depCarryMask
 		}
 		if r.ts < src.TS {
 			// The sink was observed before its source: the accesses were
 			// not mutually exclusive — a potential data race (§2.3.4).
-			d.Reversed = true
+			lo |= depReversedBit
 		}
 	}
-	e.deps[d]++
+	e.deps.add(hi, lo, 1)
 }
 
-func (e *engine) process(r *rec) {
+func (e *engine[S, PS]) process(r *rec) {
 	switch r.kind {
 	case recLoad:
 		e.load(r)
 	case recStore:
 		e.store(r)
 	case recRemove:
-		e.readS.Remove(r.addr)
-		e.writeS.Remove(r.addr)
+		e.rd().Remove(r.addr)
+		e.wr().Remove(r.addr)
 	case recMigOut:
-		r.mig.read = e.readS.Get(r.addr)
-		r.mig.write = e.writeS.Get(r.addr)
-		e.readS.Remove(r.addr)
-		e.writeS.Remove(r.addr)
+		r.mig.read = e.rd().Get(r.addr)
+		r.mig.write = e.wr().Get(r.addr)
+		e.rd().Remove(r.addr)
+		e.wr().Remove(r.addr)
 		close(r.mig.done)
 	case recMigIn:
 		if !r.mig.read.Empty() {
-			e.readS.Put(r.addr, r.mig.read)
+			e.rd().Put(r.addr, r.mig.read)
 		}
 		if !r.mig.write.Empty() {
-			e.writeS.Put(r.addr, r.mig.write)
+			e.wr().Put(r.addr, r.mig.write)
 		}
 	}
 }
@@ -194,14 +240,14 @@ func (e *engine) process(r *rec) {
 // Section 2.4: a read is skipped iff its operation's lastAddr matches and
 // the shadow statusRead/statusWrite equal the operation's remembered
 // lastStatusRead/lastStatusWrite.
-func (e *engine) load(r *rec) {
+func (e *engine[S, PS]) load(r *rec) {
 	e.stats.Reads++
-	we := e.writeS.Get(r.addr)
+	we := e.wr().Get(r.addr)
 	wouldRAW := !we.Empty()
 	if wouldRAW {
 		e.stats.DepReads++
 	}
-	re := e.readS.Get(r.addr)
+	re := e.rd().Get(r.addr)
 	if e.ops != nil {
 		st := &e.ops[e.opIdx(r.op)]
 		wc := e.carryRegion(r.ctx, we.Ctx, !we.Empty())
@@ -219,7 +265,7 @@ func (e *engine) load(r *rec) {
 				e.stats.ShadowSkips++
 				return
 			}
-			e.readS.Put(r.addr, e.entry(r))
+			e.rd().Put(r.addr, e.entry(r))
 			return
 		}
 		st.lastAddr = r.addr
@@ -230,13 +276,13 @@ func (e *engine) load(r *rec) {
 	if wouldRAW {
 		e.addDep(RAW, r, we)
 	}
-	e.readS.Put(r.addr, e.entry(r))
+	e.rd().Put(r.addr, e.entry(r))
 }
 
 // carryRegion returns the carrying-loop region of a would-be dependence
 // between the current context and a status entry's context (-1 when not
 // carried or the entry is empty, -2 sentinel never used).
-func (e *engine) carryRegion(cur, src int32, present bool) int32 {
+func (e *engine[S, PS]) carryRegion(cur, src int32, present bool) int32 {
 	if !present {
 		return -1
 	}
@@ -250,10 +296,10 @@ func (e *engine) carryRegion(cur, src int32, present bool) int32 {
 // store implements the write half of Algorithm 2. Following the evaluation
 // setup (Section 2.5.2), a WAW dependence is built only for consecutive
 // writes to the same address, i.e. when no read intervened.
-func (e *engine) store(r *rec) {
+func (e *engine[S, PS]) store(r *rec) {
 	e.stats.Writes++
-	re := e.readS.Get(r.addr)
-	we := e.writeS.Get(r.addr)
+	re := e.rd().Get(r.addr)
+	we := e.wr().Get(r.addr)
 	wouldWAR := !we.Empty() && !re.Empty()
 	wouldWAW := !we.Empty() && (re.Empty() || re.TS < we.TS)
 	if wouldWAR || wouldWAW {
@@ -280,7 +326,7 @@ func (e *engine) store(r *rec) {
 				e.stats.ShadowSkips++
 				return
 			}
-			e.writeS.Put(r.addr, e.entry(r))
+			e.wr().Put(r.addr, e.entry(r))
 			return
 		}
 		st.lastAddr = r.addr
@@ -300,5 +346,5 @@ func (e *engine) store(r *rec) {
 			e.addDep(WAW, r, we)
 		}
 	}
-	e.writeS.Put(r.addr, e.entry(r))
+	e.wr().Put(r.addr, e.entry(r))
 }

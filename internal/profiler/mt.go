@@ -29,30 +29,32 @@ type relay struct {
 	stop atomic.Bool
 }
 
-type mtWorker struct {
+type mtWorker[S any, PS storeOps[S]] struct {
 	q    *queue.MPSC[rec]
-	eng  *engine
+	eng  *engine[S, PS]
 	done atomic.Bool
 	proc atomic.Int64 // records processed (for barriers)
 	sent atomic.Int64 // records pushed to this worker by all relays
 }
 
-type mtPipe struct {
+type mtPipe[S any, PS storeOps[S]] struct {
 	p       *Profiler
 	relays  [interp.MaxThreads]*relay
-	workers []*mtWorker
+	workers []*mtWorker[S, PS]
 	wg      sync.WaitGroup
 	relayWG sync.WaitGroup
 }
 
-func newMTPipe(p *Profiler, nOps, nRegions int32) *mtPipe {
+func newMTPipe[S any, PS storeOps[S]](p *Profiler, mk func(nshares int) (S, S), nOps, nRegions int32) *mtPipe[S, PS] {
 	w := p.opt.Workers
 	if w == 0 {
 		w = 4
 	}
-	mp := &mtPipe{p: p}
+	mp := &mtPipe[S, PS]{p: p}
 	for i := 0; i < w; i++ {
-		mw := &mtWorker{q: queue.NewMPSC[rec](), eng: p.newEngine(w, nOps, nRegions)}
+		rd, wr := mk(w)
+		mw := &mtWorker[S, PS]{q: queue.NewMPSC[rec](),
+			eng: newEngine[S, PS](rd, wr, p.tab, p.opt.MT, p.skipOps(nOps), p.skipRegions(nRegions))}
 		mp.workers = append(mp.workers, mw)
 		mp.wg.Add(1)
 		go mp.runWorker(mw)
@@ -60,7 +62,7 @@ func newMTPipe(p *Profiler, nOps, nRegions int32) *mtPipe {
 	return mp
 }
 
-func (mp *mtPipe) runWorker(w *mtWorker) {
+func (mp *mtPipe[S, PS]) runWorker(w *mtWorker[S, PS]) {
 	defer mp.wg.Done()
 	for {
 		r, ok := w.q.TryPop()
@@ -79,7 +81,7 @@ func (mp *mtPipe) runWorker(w *mtWorker) {
 	}
 }
 
-func (mp *mtPipe) relayFor(tid int32) *relay {
+func (mp *mtPipe[S, PS]) relayFor(tid int32) *relay {
 	if mp.relays[tid] == nil {
 		rl := &relay{ring: queue.NewSPSC[rec](4096)}
 		mp.relays[tid] = rl
@@ -89,7 +91,7 @@ func (mp *mtPipe) relayFor(tid int32) *relay {
 	return mp.relays[tid]
 }
 
-func (mp *mtPipe) runRelay(rl *relay) {
+func (mp *mtPipe[S, PS]) runRelay(rl *relay) {
 	defer mp.relayWG.Done()
 	nw := uint64(len(mp.workers))
 	for {
@@ -112,7 +114,7 @@ func (mp *mtPipe) runRelay(rl *relay) {
 }
 
 // produce routes a record through the producing target thread's relay.
-func (mp *mtPipe) produce(r rec) {
+func (mp *mtPipe[S, PS]) produce(r rec) {
 	tid := int32(unpackThread(r.info))
 	if r.kind == recRemove {
 		tid = 0
@@ -128,7 +130,7 @@ func (mp *mtPipe) produce(r rec) {
 // and every worker has consumed everything forwarded to it. After a
 // barrier, all previously produced accesses are fully recorded, which is
 // what pushing inside the lock region guarantees in the paper.
-func (mp *mtPipe) barrier() {
+func (mp *mtPipe[S, PS]) barrier() {
 	for _, rl := range mp.relays {
 		if rl == nil {
 			continue
@@ -144,7 +146,7 @@ func (mp *mtPipe) barrier() {
 	}
 }
 
-func (mp *mtPipe) finish() []*engine {
+func (mp *mtPipe[S, PS]) finish() []engineDump {
 	for _, rl := range mp.relays {
 		if rl != nil {
 			rl.stop.Store(true)
@@ -155,9 +157,9 @@ func (mp *mtPipe) finish() []*engine {
 		w.done.Store(true)
 	}
 	mp.wg.Wait()
-	engines := make([]*engine, len(mp.workers))
+	dumps := make([]engineDump, len(mp.workers))
 	for i, w := range mp.workers {
-		engines[i] = w.eng
+		dumps[i] = w.eng.dump()
 	}
-	return engines
+	return dumps
 }

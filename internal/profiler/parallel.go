@@ -14,30 +14,33 @@ import (
 // memory accesses into per-worker chunks — a memory address is owned by
 // exactly one worker so the temporal order per address is preserved — and
 // pushes full chunks into lock-free SPSC queues. Workers run Algorithm 2 on
-// their own signature pair and store dependences in thread-local maps that
-// are merged at the end.
+// their own signature pair and store dependences in thread-local packed
+// tables that are merged at the end.
+//
+// The pipe is generic over the store type for the same reason the engine
+// is: each instantiation owns engines whose hot loop is fully devirtualized.
 
 type chunk struct {
 	recs []rec
 }
 
-type pworker struct {
+type pworker[S any, PS storeOps[S]] struct {
 	id      int
 	q       *queue.SPSC[*chunk]
 	lq      *queue.LockedQueue[*chunk] // lock-based baseline
 	recycle *queue.SPSC[*chunk]
-	eng     *engine
+	eng     *engine[S, PS]
 	done    atomic.Bool
 }
 
-func (w *pworker) pop() (*chunk, bool) {
+func (w *pworker[S, PS]) pop() (*chunk, bool) {
 	if w.lq != nil {
 		return w.lq.TryPop()
 	}
 	return w.q.TryPop()
 }
 
-func (w *pworker) push(c *chunk) {
+func (w *pworker[S, PS]) push(c *chunk) {
 	if w.lq != nil {
 		w.lq.Push(c)
 		return
@@ -47,9 +50,9 @@ func (w *pworker) push(c *chunk) {
 	}
 }
 
-type parallelPipe struct {
+type parallelPipe[S any, PS storeOps[S]] struct {
 	p       *Profiler
-	workers []*pworker
+	workers []*pworker[S, PS]
 	cur     []*chunk
 	wg      sync.WaitGroup
 
@@ -74,19 +77,20 @@ type parallelPipe struct {
 // 1 in 2^6 = 64 accesses is counted.
 const sampleShift = 6
 
-func newParallelPipe(p *Profiler, nOps, nRegions int32) *parallelPipe {
+func newParallelPipe[S any, PS storeOps[S]](p *Profiler, mk func(nshares int) (S, S), nOps, nRegions int32) *parallelPipe[S, PS] {
 	w := p.opt.Workers
-	pp := &parallelPipe{
+	pp := &parallelPipe[S, PS]{
 		p:      p,
 		counts: make(map[uint64]int64),
 		rng:    0x9E3779B97F4A7C15,
 		redist: make(map[uint64]int),
 	}
 	for i := 0; i < w; i++ {
-		pw := &pworker{
+		rd, wr := mk(w)
+		pw := &pworker[S, PS]{
 			id:      i,
 			recycle: queue.NewSPSC[*chunk](64),
-			eng:     p.newEngine(w, nOps, nRegions),
+			eng:     newEngine[S, PS](rd, wr, p.tab, p.opt.MT, p.skipOps(nOps), p.skipRegions(nRegions)),
 		}
 		if p.opt.UseLocked {
 			pw.lq = &queue.LockedQueue[*chunk]{}
@@ -101,7 +105,7 @@ func newParallelPipe(p *Profiler, nOps, nRegions int32) *parallelPipe {
 	return pp
 }
 
-func (pp *parallelPipe) runWorker(w *pworker) {
+func (pp *parallelPipe[S, PS]) runWorker(w *pworker[S, PS]) {
 	defer pp.wg.Done()
 	for {
 		c, ok := w.pop()
@@ -126,7 +130,7 @@ func (pp *parallelPipe) runWorker(w *pworker) {
 
 // owner applies the modulo distribution (Formula 2.1) unless overridden by
 // the redistribution map.
-func (pp *parallelPipe) owner(addr uint64) int {
+func (pp *parallelPipe[S, PS]) owner(addr uint64) int {
 	if len(pp.redist) > 0 {
 		if w, ok := pp.redist[addr]; ok {
 			return w
@@ -135,7 +139,7 @@ func (pp *parallelPipe) owner(addr uint64) int {
 	return int(addr % uint64(len(pp.workers)))
 }
 
-func (pp *parallelPipe) produce(r rec) {
+func (pp *parallelPipe[S, PS]) produce(r rec) {
 	if r.kind == recLoad || r.kind == recStore {
 		pp.rng ^= pp.rng << 13
 		pp.rng ^= pp.rng >> 7
@@ -155,7 +159,7 @@ func (pp *parallelPipe) produce(r rec) {
 	}
 }
 
-func (pp *parallelPipe) flush(w int) {
+func (pp *parallelPipe[S, PS]) flush(w int) {
 	pw := pp.workers[w]
 	pw.push(pp.cur[w])
 	pp.chunksPushed++
@@ -167,22 +171,74 @@ func (pp *parallelPipe) flush(w int) {
 	}
 }
 
+// rebalanceTopK is the number of heaviest addresses the balancer
+// distributes round-robin across the workers at each rebalance.
+const rebalanceTopK = 10
+
+// topAddrs selects the k heaviest sampled addresses, ordered heaviest
+// first, with a bounded min-heap: O(n log k) over the sample map instead of
+// sorting every sampled address at every rebalance interval.
+func topAddrs(counts map[uint64]int64, k int) []addrCount {
+	top := make([]addrCount, 0, k)
+	for a, n := range counts {
+		if len(top) < k {
+			top = append(top, addrCount{a, n})
+			if len(top) == k {
+				for i := k/2 - 1; i >= 0; i-- {
+					siftDown(top, i)
+				}
+			}
+			continue
+		}
+		if n > top[0].n {
+			top[0] = addrCount{a, n}
+			siftDown(top, 0)
+		}
+	}
+	// Heaviest first for rank assignment (ties broken by address so the
+	// order is deterministic across runs).
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].n != top[j].n {
+			return top[i].n > top[j].n
+		}
+		return top[i].addr < top[j].addr
+	})
+	return top
+}
+
+type addrCount struct {
+	addr uint64
+	n    int64
+}
+
+// siftDown restores the min-heap property (ordered by count) at index i.
+func siftDown(h []addrCount, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l].n < h[min].n {
+			min = l
+		}
+		if r < len(h) && h[r].n < h[min].n {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
 // rebalance checks whether the ten most heavily accessed addresses are
 // evenly distributed over the workers, and migrates them (with their
-// signature state) if not.
-func (pp *parallelPipe) rebalance() {
-	type ac struct {
-		addr uint64
-		n    int64
-	}
-	top := make([]ac, 0, 16)
-	for a, n := range pp.counts {
-		top = append(top, ac{a, n})
-	}
-	sort.Slice(top, func(i, j int) bool { return top[i].n > top[j].n })
-	if len(top) > 10 {
-		top = top[:10]
-	}
+// signature state) if not. Afterwards every sampled count is halved
+// (dropping entries that reach zero): without decay, addresses hot early
+// in the run would pin the redistribution map for the rest of the
+// execution even after going cold, because later-phase addresses could
+// never catch up with the all-time counters.
+func (pp *parallelPipe[S, PS]) rebalance() {
+	top := topAddrs(pp.counts, rebalanceTopK)
 	w := len(pp.workers)
 	for rank, t := range top {
 		want := rank % w
@@ -193,13 +249,20 @@ func (pp *parallelPipe) rebalance() {
 		pp.redist[t.addr] = want
 		pp.rebalances++
 	}
+	for a, n := range pp.counts {
+		if n >>= 1; n == 0 {
+			delete(pp.counts, a)
+		} else {
+			pp.counts[a] = n
+		}
+	}
 }
 
 // migrate moves the signature state of addr from worker old to worker new,
 // preserving the temporal order: all already-produced accesses are flushed
 // to the old worker, the state is extracted after the old worker catches
 // up, and only then is it installed at the new owner.
-func (pp *parallelPipe) migrate(addr uint64, oldW, newW int) {
+func (pp *parallelPipe[S, PS]) migrate(addr uint64, oldW, newW int) {
 	if oldW == newW {
 		return
 	}
@@ -212,8 +275,8 @@ func (pp *parallelPipe) migrate(addr uint64, oldW, newW int) {
 }
 
 // finish flushes remaining chunks, stops the workers, and returns their
-// engines for merging.
-func (pp *parallelPipe) finish() []*engine {
+// engines' merge-time dumps.
+func (pp *parallelPipe[S, PS]) finish() []engineDump {
 	for w := range pp.workers {
 		if len(pp.cur[w].recs) > 0 {
 			pp.flush(w)
@@ -223,9 +286,12 @@ func (pp *parallelPipe) finish() []*engine {
 		w.done.Store(true)
 	}
 	pp.wg.Wait()
-	engines := make([]*engine, len(pp.workers))
+	dumps := make([]engineDump, len(pp.workers))
 	for i, w := range pp.workers {
-		engines[i] = w.eng
+		dumps[i] = w.eng.dump()
 	}
-	return engines
+	return dumps
 }
+
+// rebalanceCount reports performed redistributions (observability).
+func (pp *parallelPipe[S, PS]) rebalanceCount() int { return pp.rebalances }

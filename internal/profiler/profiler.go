@@ -83,15 +83,38 @@ type Profiler struct {
 	opLocs     []ir.Loc
 	spillLines map[ir.Loc]int64
 
-	eng *engine // serial mode
+	// Serial mode holds the engine with its concrete store type so the
+	// per-access process call (and everything it inlines) is direct.
+	// Exactly one of engP/engS is non-nil in serial mode.
+	engP *engine[sig.Perfect, *sig.Perfect]
+	engS *engine[sig.Signature, *sig.Signature]
 
-	par *parallelPipe // sequential-target parallel mode
-	mtp *mtPipe       // multi-threaded-target mode
+	par balancedPipe // sequential-target parallel mode
+	mtp barrierPipe  // multi-threaded-target mode
 
 	stopped bool
-	engines []*engine
+	dumps   []engineDump
 
 	accesses int64
+}
+
+// pipe is the non-generic control seam of the worker pipelines: the
+// producer-side hot call plus the merge-time teardown.
+type pipe interface {
+	produce(r rec)
+	finish() []engineDump
+}
+
+// balancedPipe is the sequential-target pipeline (load balancing).
+type balancedPipe interface {
+	pipe
+	rebalanceCount() int
+}
+
+// barrierPipe is the multi-threaded-target pipeline (lock barriers).
+type barrierPipe interface {
+	pipe
+	barrier()
 }
 
 // New creates a profiler for module m. The module's static memory
@@ -109,46 +132,78 @@ func New(m *ir.Module, opt Options) *Profiler {
 	p.lay = newOpLayout(nOps)
 	p.lineCounts = make([]int64, p.lay.size(nRegions))
 	p.opLocs = make([]ir.Loc, len(p.lineCounts))
-	switch {
-	case opt.MT:
-		p.mtp = newMTPipe(p, nOps, nRegions)
-	case opt.Workers > 0:
-		p.par = newParallelPipe(p, nOps, nRegions)
-	default:
-		p.eng = p.newEngine(1, nOps, nRegions)
+	// One instantiation per store kind: every engine below this switch
+	// calls its stores directly.
+	if opt.Store == StoreSignature {
+		switch {
+		case opt.MT:
+			p.mtp = newMTPipe[sig.Signature](p, p.sigPair, nOps, nRegions)
+		case opt.Workers > 0:
+			p.par = newParallelPipe[sig.Signature](p, p.sigPair, nOps, nRegions)
+		default:
+			rd, wr := p.sigPair(1)
+			p.engS = newEngine[sig.Signature](rd, wr, p.tab, opt.MT, p.skipOps(nOps), p.skipRegions(nRegions))
+		}
+	} else {
+		switch {
+		case opt.MT:
+			p.mtp = newMTPipe[sig.Perfect](p, perfectPair, nOps, nRegions)
+		case opt.Workers > 0:
+			p.par = newParallelPipe[sig.Perfect](p, perfectPair, nOps, nRegions)
+		default:
+			p.engP = newEngine[sig.Perfect](sig.MakePerfect(), sig.MakePerfect(), p.tab, opt.MT, p.skipOps(nOps), p.skipRegions(nRegions))
+		}
 	}
 	return p
 }
 
-// newEngine builds one worker engine, sizing its signature pair as an
-// equal share of the configured total slots across nshares workers.
-func (p *Profiler) newEngine(nshares int, nOps, nRegions int32) *engine {
-	var rd, wr sig.Store
-	if p.opt.Store == StoreSignature {
-		per := p.opt.Slots / (2 * nshares)
-		if per < 16 {
-			per = 16
-		}
-		rd, wr = sig.NewSignature(per), sig.NewSignature(per)
-	} else {
-		rd, wr = sig.NewPerfect(), sig.NewPerfect()
+// sigPair builds one worker's signature pair, sized as an equal share of
+// the configured total slots across nshares workers.
+func (p *Profiler) sigPair(nshares int) (sig.Signature, sig.Signature) {
+	per := p.opt.Slots / (2 * nshares)
+	if per < 16 {
+		per = 16
 	}
-	if !p.opt.Skip {
-		nOps, nRegions = 0, 0
-	}
-	return newEngine(rd, wr, p.tab, p.opt.MT, nOps, nRegions)
+	return sig.MakeSignature(per), sig.MakeSignature(per)
 }
 
-// route dispatches one access record to the active pipeline.
+// perfectPair builds one worker's exact-store pair (nshares is irrelevant:
+// perfect signatures grow on demand).
+func perfectPair(int) (sig.Perfect, sig.Perfect) {
+	return sig.MakePerfect(), sig.MakePerfect()
+}
+
+// skipOps/skipRegions gate the skip optimization's per-op state sizing on
+// Options.Skip.
+func (p *Profiler) skipOps(nOps int32) int32 {
+	if !p.opt.Skip {
+		return 0
+	}
+	return nOps
+}
+
+func (p *Profiler) skipRegions(nRegions int32) int32 {
+	if !p.opt.Skip {
+		return 0
+	}
+	return nRegions
+}
+
+// route dispatches one access record to the active pipeline. The serial
+// cases name the concrete engine type, so the whole per-access path —
+// process, load/store, the signature Get/Put pairs, and the dependence
+// accumulator — is one direct call chain.
 func (p *Profiler) route(r rec) {
 	p.accesses++
 	switch {
+	case p.engP != nil:
+		p.engP.process(&r)
+	case p.engS != nil:
+		p.engS.process(&r)
 	case p.mtp != nil:
 		p.mtp.produce(r)
-	case p.par != nil:
-		p.par.produce(r)
 	default:
-		p.eng.process(&r)
+		p.par.produce(r)
 	}
 }
 
@@ -286,21 +341,23 @@ func (p *Profiler) ThreadEnd(tid int32) {
 // of the process.
 func (p *Profiler) Stop() { p.stop() }
 
-// stop terminates the pipelines and returns their engines for merging.
-func (p *Profiler) stop() []*engine {
+// stop terminates the pipelines and returns the engines' merge-time dumps.
+func (p *Profiler) stop() []engineDump {
 	if p.stopped {
-		return p.engines
+		return p.dumps
 	}
 	p.stopped = true
 	switch {
 	case p.mtp != nil:
-		p.engines = p.mtp.finish()
+		p.dumps = p.mtp.finish()
 	case p.par != nil:
-		p.engines = p.par.finish()
+		p.dumps = p.par.finish()
+	case p.engP != nil:
+		p.dumps = []engineDump{p.engP.dump()}
 	default:
-		p.engines = []*engine{p.eng}
+		p.dumps = []engineDump{p.engS.dump()}
 	}
-	return p.engines
+	return p.dumps
 }
 
 // Result terminates the pipeline (if any), merges the thread-local
@@ -318,20 +375,20 @@ func (p *Profiler) Result() *Result {
 	}
 	res := &Result{
 		Mod:         p.mod,
-		Deps:        map[Dep]int64{},
 		Regions:     p.regions,
 		Lines:       lines,
 		FuncInstrs:  p.funcs,
 		TotalInstrs: p.total,
 		Accesses:    p.accesses,
 	}
-	for _, e := range p.stop() {
-		for d, n := range e.deps {
-			res.Deps[d] += n
-		}
-		res.Skip.add(&e.stats)
-		res.StoreBytes += e.readS.MemBytes() + e.writeS.MemBytes()
+	dumps := p.stop()
+	tables := make([]*depTable, len(dumps))
+	for i, d := range dumps {
+		tables[i] = d.deps
+		res.Skip.add(d.stats)
+		res.StoreBytes += d.bytes
 	}
+	res.Deps = mergeDepTables(tables)
 	for d := range res.Deps {
 		if d.Reversed {
 			res.Races++

@@ -50,10 +50,17 @@ type Signature struct {
 
 // NewSignature returns a signature with n slots.
 func NewSignature(n int) *Signature {
+	s := MakeSignature(n)
+	return &s
+}
+
+// MakeSignature returns a signature with n slots by value, for embedding
+// in generic engines.
+func MakeSignature(n int) Signature {
 	if n <= 0 {
 		panic("sig: signature size must be positive")
 	}
-	return &Signature{slots: make([]Entry, n)}
+	return Signature{slots: make([]Entry, n)}
 }
 
 // Slots returns the number of slots.
@@ -104,7 +111,14 @@ const perfectInitCap = 1 << 10
 
 // NewPerfect returns an empty perfect signature.
 func NewPerfect() *Perfect {
-	return &Perfect{keys: make([]uint64, perfectInitCap), entries: make([]Entry, perfectInitCap)}
+	p := MakePerfect()
+	return &p
+}
+
+// MakePerfect returns an empty perfect signature by value, for embedding
+// in generic engines.
+func MakePerfect() Perfect {
+	return Perfect{keys: make([]uint64, perfectInitCap), entries: make([]Entry, perfectInitCap)}
 }
 
 func phash(addr uint64) uint64 {

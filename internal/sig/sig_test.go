@@ -160,3 +160,64 @@ func BenchmarkSignaturePutGet(b *testing.B) {
 		_ = s.Get(a)
 	}
 }
+
+// TestPerfectRemoveBackwardShift stresses the backward-shift deletion with
+// adversarially clustered keys: addresses are chosen so that many hash
+// into the same probe neighbourhood (including wrap-around at the table
+// end), then removed in random order interleaved with re-inserts and gets,
+// differentially against a plain map. This is the removal pattern the
+// variable lifetime analysis produces when a function's frame dies.
+func TestPerfectRemoveBackwardShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewPerfect()
+	mask := uint64(1<<10 - 1) // initial capacity, before any growth
+	// Collect addresses by home slot so clusters share probe chains.
+	clusters := map[uint64][]uint64{}
+	for a := uint64(1); len(clusters[mask]) < 8 || len(clusters[0]) < 8; a++ {
+		h := phash(a) & mask
+		if h == 0 || h == mask || h == 1 {
+			clusters[h] = append(clusters[h], a)
+		}
+		if a > 1<<20 {
+			break
+		}
+	}
+	var addrs []uint64
+	for _, c := range clusters {
+		addrs = append(addrs, c...)
+	}
+	if len(addrs) < 12 {
+		t.Fatalf("could not construct colliding clusters (got %d addrs)", len(addrs))
+	}
+	ref := map[uint64]Entry{}
+	for round := 0; round < 5000; round++ {
+		a := addrs[rng.Intn(len(addrs))]
+		switch rng.Intn(3) {
+		case 0:
+			e := Entry{Info: uint64(round)<<8 | 1, TS: uint64(round)}
+			p.Put(a, e)
+			ref[a] = e
+		case 1:
+			p.Remove(a)
+			delete(ref, a)
+		case 2:
+			if got, want := p.Get(a), ref[a]; got != want {
+				t.Fatalf("round %d: Get(%d) = %+v, want %+v", round, a, got, want)
+			}
+		}
+	}
+	// Drain the clusters completely, verifying every survivor after each
+	// removal: a wrong backward shift strands or duplicates entries.
+	for _, a := range addrs {
+		p.Remove(a)
+		delete(ref, a)
+		for b, want := range ref {
+			if got := p.Get(b); got != want {
+				t.Fatalf("after Remove(%d): Get(%d) = %+v, want %+v", a, b, got, want)
+			}
+		}
+	}
+	if p.Len() != len(ref) {
+		t.Fatalf("final Len = %d, want %d", p.Len(), len(ref))
+	}
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# scripts/bench.sh [label] — run the headline benchmarks and fold the
+# results into BENCH_PR2.json (minimum ns/op per benchmark over COUNT
+# runs). Labels accumulate in the JSON: run once on the base commit with
+# label "before" and once on the PR with the default "after" to record the
+# perf trajectory.
+#
+#   COUNT=5 BENCHTIME=20x scripts/bench.sh before
+#   scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-after}"
+COUNT="${COUNT:-5}"
+BENCHTIME="${BENCHTIME:-20x}"
+BENCH="${BENCH:-BenchmarkProfilerThroughput\$|BenchmarkAnalyzeAll\$}"
+
+mkdir -p scripts/bench-results
+go test -run NONE -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" . \
+  | tee "scripts/bench-results/$label.out"
+
+# Regenerate BENCH_PR2.json from every recorded label.
+{
+  echo '{'
+  first=1
+  for f in scripts/bench-results/*.out; do
+    l=$(basename "$f" .out)
+    [ "$first" -eq 1 ] || echo ','
+    first=0
+    printf '  "%s": {' "$l"
+    awk '
+      /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = $3 + 0
+        if (!(name in best)) { order[++k] = name; best[name] = ns }
+        else if (ns < best[name]) best[name] = ns
+      }
+      END {
+        for (i = 1; i <= k; i++) {
+          if (i > 1) printf ", "
+          printf "\"%s_ns_per_op\": %d", order[i], best[order[i]]
+        }
+      }' "$f"
+    printf '}'
+  done
+  echo
+  echo '}'
+} > BENCH_PR2.json
+echo "wrote BENCH_PR2.json:"
+cat BENCH_PR2.json
