@@ -78,6 +78,15 @@ func main() {
 		for _, s := range stages {
 			fmt.Printf("  stage %-10s %s\n", s, fleet.StageTime[s].Round(1e6))
 		}
+		if q := fleet.QueueLat; q.Count > 0 {
+			fmt.Printf("  queue latency: min %s  p50~%s  max %s  (mean %s over %d jobs)\n",
+				q.Min, q.Median(), q.Max, q.Mean(), q.Count)
+			fmt.Printf("    histogram: %s\n", q.String())
+		}
+		if fleet.CacheHits > 0 || fleet.CacheEvictions > 0 {
+			fmt.Printf("  profile cache: %d hits, %d evictions\n",
+				fleet.CacheHits, fleet.CacheEvictions)
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -95,8 +95,13 @@ type (
 	FleetStats = pipeline.FleetStats
 	// ProfileCache memoizes the Profile stage across jobs keyed by
 	// (Options.CacheKey, profiling options): sweeps that re-analyze the
-	// same workload skip re-profiling entirely.
+	// same workload skip re-profiling entirely. Bounded: least recently
+	// used entries are evicted beyond the entry cap.
 	ProfileCache = pipeline.ProfileCache
+	// LatencyHist summarizes the per-job queue latency distribution on
+	// FleetStats (exact min/max/mean, fixed-bucket histogram, estimated
+	// median).
+	LatencyHist = pipeline.LatencyHist
 	// DepShards is a concurrency-safe dependence accumulator sharded by
 	// sink location (fleet-level merged dependences).
 	DepShards = profiler.DepShards
@@ -143,12 +148,18 @@ func NewEngine(opt Options) *Engine {
 	return pipeline.NewEngine(opt)
 }
 
-// NewProfileCache returns an empty Profile-stage cache. Share one instance
-// across the Options of every job in a sweep (set Options.Cache and a
-// per-workload Options.CacheKey); jobs with identical (CacheKey, Profiler
-// options) then profile once.
+// NewProfileCache returns an empty Profile-stage cache with the default
+// entry cap. Share one instance across the Options of every job in a sweep
+// (set Options.Cache and a per-workload Options.CacheKey); jobs with
+// identical (CacheKey, Profiler options) then profile once.
 func NewProfileCache() *ProfileCache {
 	return pipeline.NewProfileCache()
+}
+
+// NewProfileCacheSize returns an empty Profile-stage cache evicting
+// least-recently-used entries beyond max (0 = unbounded).
+func NewProfileCacheSize(max int) *ProfileCache {
+	return pipeline.NewProfileCacheSize(max)
 }
 
 // ProfileOnly runs just Phase 1 and returns the profiling result.

@@ -12,8 +12,8 @@ import (
 )
 
 // analyzeOne runs the full discovery pipeline on a single workload,
-// through the sweep cache when active. Sweeps over whole suites batch
-// through analyzeNamed instead.
+// through the sweep cache when active. Sweeps over whole suites stream
+// through analyzeStream instead.
 func analyzeOne(name string, scale int) (*workloads.Program, *discopop.Report) {
 	prog := buildWorkload(name, scale)
 	opt := jobOpt(name, scale)
@@ -43,32 +43,39 @@ func Table4_1(scale int) *Result {
 		"program", "parallel", "found", "false+", "recall")
 	var totTrue, totFound, totFalse int
 	names := workloads.Names("NAS")
-	progs, reps := analyzeNamed(names, scale)
-	for i, name := range names {
-		prog, rep := progs[i], reps[i]
-		found, falsePos := 0, 0
+	// Stream the sweep (flat-memory pattern): per-row scalars are captured
+	// as each job completes and the report is dropped; rows are formatted
+	// afterwards in name order.
+	type row struct{ nTrue, found, falsePos int }
+	rows := make([]row, len(names))
+	analyzeStream(names, scale, func(i int, prog *workloads.Program, rep *discopop.Report) {
+		r := row{nTrue: len(prog.Truth.DOALL)}
 		for _, reg := range prog.Truth.DOALL {
 			if isParallelKind(kindFor(rep, reg)) {
-				found++
+				r.found++
 			}
 		}
 		for _, reg := range prog.Truth.Seq {
 			if isParallelKind(kindFor(rep, reg)) {
-				falsePos++
+				r.falsePos++
 			}
 		}
+		rows[i] = r
+	})
+	for i, name := range names {
+		r := rows[i]
 		recall := 100.0
-		if len(prog.Truth.DOALL) > 0 {
-			recall = 100 * float64(found) / float64(len(prog.Truth.DOALL))
+		if r.nTrue > 0 {
+			recall = 100 * float64(r.found) / float64(r.nTrue)
 		}
-		totTrue += len(prog.Truth.DOALL)
-		totFound += found
-		totFalse += falsePos
+		totTrue += r.nTrue
+		totFound += r.found
+		totFalse += r.falsePos
 		res.add(name, map[string]float64{
-			"parallel": float64(len(prog.Truth.DOALL)), "found": float64(found),
-			"false_pos": float64(falsePos), "recall": recall})
+			"parallel": float64(r.nTrue), "found": float64(r.found),
+			"false_pos": float64(r.falsePos), "recall": recall})
 		fmt.Fprintf(&sb, "%-10s %10d %10d %10d %11.1f%%\n",
-			name, len(prog.Truth.DOALL), found, falsePos, recall)
+			name, r.nTrue, r.found, r.falsePos, recall)
 	}
 	overall := 100 * float64(totFound) / float64(max(1, totTrue))
 	fmt.Fprintf(&sb, "%-10s %10d %10d %10d %11.1f%%  (paper: 92.5%%)\n",
@@ -86,16 +93,21 @@ func Table4_2(scale, threads int) *Result {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-16s %-18s %10s\n", "program", "suggestion", "speedup")
 	names := workloads.Names("textbook")
-	progs, reps := analyzeNamed(names, scale)
-	for i, name := range names {
-		prog, rep := progs[i], reps[i]
-		sp := SimulateBest(prog, rep, threads)
-		kind := "none"
+	type row struct {
+		sp   float64
+		kind string
+	}
+	rows := make([]row, len(names))
+	analyzeStream(names, scale, func(i int, prog *workloads.Program, rep *discopop.Report) {
+		r := row{sp: SimulateBest(prog, rep, threads), kind: "none"}
 		if len(rep.Ranked) > 0 && rep.Ranked[0].Score > 0 {
-			kind = rep.Ranked[0].Kind.String()
+			r.kind = rep.Ranked[0].Kind.String()
 		}
-		res.add(name, map[string]float64{"speedup": sp})
-		fmt.Fprintf(&sb, "%-16s %-18s %9.2fx\n", name, kind, sp)
+		rows[i] = r
+	})
+	for i, name := range names {
+		res.add(name, map[string]float64{"speedup": rows[i].sp})
+		fmt.Fprintf(&sb, "%-16s %-18s %9.2fx\n", name, rows[i].kind, rows[i].sp)
 	}
 	fmt.Fprintf(&sb, "%-16s %-18s %9.2fx\n", "average", "", res.Mean("speedup"))
 	res.Text = sb.String()
@@ -214,20 +226,25 @@ func Table4_4(scale int) *Result {
 			progs = append(progs, p)
 		}
 	}
-	reps := analyzePrograms(progs, scale)
+	type row struct{ want, got discovery.Kind }
+	rows := make([]row, len(progs))
+	analyzeStreamProgs(progs, scale, func(i int, prog *workloads.Program, rep *discopop.Report) {
+		rows[i] = row{
+			want: truthKind(prog.Truth, prog.Truth.Hot),
+			got:  kindFor(rep, prog.Truth.Hot),
+		}
+	})
 	match, total := 0, 0
 	for i, prog := range progs {
-		name, rep := prog.Name, reps[i]
-		got := kindFor(rep, prog.Truth.Hot)
-		want := truthKind(prog.Truth, prog.Truth.Hot)
+		want, got := rows[i].want, rows[i].got
 		ok := classMatches(want, got)
 		total++
 		if ok {
 			match++
 		}
-		res.add(name, map[string]float64{"match": b2f(ok)})
+		res.add(prog.Name, map[string]float64{"match": b2f(ok)})
 		fmt.Fprintf(&sb, "%-14s %-12s %-18s %-18s %8v\n",
-			name, prog.Truth.Hot.Start, want, got, ok)
+			prog.Name, prog.Truth.Hot.Start, want, got, ok)
 	}
 	fmt.Fprintf(&sb, "correct: %d/%d\n", match, total)
 	res.Text = sb.String()
@@ -274,24 +291,29 @@ func Table4_5(scale, threads int) *Result {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-8s %12s %-40s %10s\n", "program", "suggestions", "key opportunity", "speedup")
 	names := workloads.Names("compressor")
-	progs, reps := analyzeNamed(names, scale)
-	for i, name := range names {
-		prog, rep := progs[i], reps[i]
-		n := 0
+	type row struct {
+		n   int
+		key string
+		sp  float64
+	}
+	rows := make([]row, len(names))
+	analyzeStream(names, scale, func(i int, prog *workloads.Program, rep *discopop.Report) {
+		r := row{key: "none", sp: 1.0}
 		for _, s := range rep.Ranked {
 			if s.Score > 0 {
-				n++
+				r.n++
 			}
 		}
-		hot := rep.SuggestionFor(prog.Truth.Hot)
-		key := "none"
-		sp := 1.0
-		if hot != nil {
-			key = fmt.Sprintf("%s on block loop %s", hot.Kind, hot.Loc)
-			sp = SimulateBest(prog, rep, threads)
+		if hot := rep.SuggestionFor(prog.Truth.Hot); hot != nil {
+			r.key = fmt.Sprintf("%s on block loop %s", hot.Kind, hot.Loc)
+			r.sp = SimulateBest(prog, rep, threads)
 		}
-		res.add(name, map[string]float64{"suggestions": float64(n), "speedup": sp})
-		fmt.Fprintf(&sb, "%-8s %12d %-40s %9.2fx\n", name, n, key, sp)
+		rows[i] = r
+	})
+	for i, name := range names {
+		r := rows[i]
+		res.add(name, map[string]float64{"suggestions": float64(r.n), "speedup": r.sp})
+		fmt.Fprintf(&sb, "%-8s %12d %-40s %9.2fx\n", name, r.n, r.key, r.sp)
 	}
 	res.Text = sb.String()
 	return res
@@ -314,9 +336,16 @@ func Table4_6(scale int) *Result {
 		fmt.Fprintf(&sb, "%-12s %-14s %8v  %s\n", name, spot, ok, note)
 	}
 	names := workloads.Names("BOTS")
-	progs, reps := analyzeNamed(names, scale)
-	for i, name := range names {
-		prog, rep := progs[i], reps[i]
+	// One program yields several decisions; capture them per index while
+	// streaming, then flatten in name order.
+	type decision struct {
+		spot string
+		ok   bool
+		note string
+	}
+	rows := make([][]decision, len(names))
+	analyzeStream(names, scale, func(i int, prog *workloads.Program, rep *discopop.Report) {
+		var ds []decision
 		for _, f := range prog.Truth.TaskFuncs {
 			var hit *discovery.Suggestion
 			for _, s := range rep.Ranked {
@@ -330,7 +359,7 @@ func Table4_6(scale int) *Result {
 			if hit != nil {
 				note = hit.Notes
 			}
-			record(name, "func "+f.Name, hit != nil, note)
+			ds = append(ds, decision{spot: "func " + f.Name, ok: hit != nil, note: note})
 		}
 		// The hot loop, when ground truth defines one, is a second
 		// decision point: parallelizable hot loops must be suggested as
@@ -338,8 +367,17 @@ func Table4_6(scale int) *Result {
 		if hot := prog.Truth.Hot; hot != nil {
 			got := kindFor(rep, hot)
 			want := truthKind(prog.Truth, hot)
-			record(name, fmt.Sprintf("loop %s", hot.Start), classMatches(want, got),
-				fmt.Sprintf("truth %s, detected %s", want, got))
+			ds = append(ds, decision{
+				spot: fmt.Sprintf("loop %s", hot.Start),
+				ok:   classMatches(want, got),
+				note: fmt.Sprintf("truth %s, detected %s", want, got),
+			})
+		}
+		rows[i] = ds
+	})
+	for i, name := range names {
+		for _, d := range rows[i] {
+			record(name, d.spot, d.ok, d.note)
 		}
 	}
 	fmt.Fprintf(&sb, "correct decisions: %d/%d (paper: 20/20)\n", correct, total)
@@ -353,9 +391,13 @@ func Table4_7(scale int) *Result {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-16s %8s %8s  %s\n", "program", "found", "tasks", "notes")
 	names := workloads.Names("MPMD")
-	_, reps := analyzeNamed(names, scale)
-	for i, name := range names {
-		rep := reps[i]
+	type row struct {
+		found  bool
+		ntasks int
+		notes  string
+	}
+	rows := make([]row, len(names))
+	analyzeStream(names, scale, func(i int, prog *workloads.Program, rep *discopop.Report) {
 		var hit *discovery.Suggestion
 		for _, s := range rep.Ranked {
 			if s.Kind == discovery.MPMDTask && len(s.Tasks) >= 2 {
@@ -372,15 +414,17 @@ func Table4_7(scale int) *Result {
 				}
 			}
 		}
-		found := hit != nil
-		ntasks := 0
-		notes := "no parallelism found"
+		r := row{found: hit != nil, notes: "no parallelism found"}
 		if hit != nil {
-			ntasks = len(hit.Tasks)
-			notes = hit.Notes
+			r.ntasks = len(hit.Tasks)
+			r.notes = hit.Notes
 		}
-		res.add(name, map[string]float64{"found": b2f(found), "tasks": float64(ntasks)})
-		fmt.Fprintf(&sb, "%-16s %8v %8d  %s\n", name, found, ntasks, notes)
+		rows[i] = r
+	})
+	for i, name := range names {
+		r := rows[i]
+		res.add(name, map[string]float64{"found": b2f(r.found), "tasks": float64(r.ntasks)})
+		fmt.Fprintf(&sb, "%-16s %8v %8d  %s\n", name, r.found, r.ntasks, r.notes)
 	}
 	res.Text = sb.String()
 	return res

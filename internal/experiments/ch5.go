@@ -97,11 +97,12 @@ func Table5_4(scale int) *Result {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-10s %14s %12s %12s\n", "program", "transactions", "maxWriteSet", "contended")
 	names := workloads.Names("NAS")
-	_, reps := analyzeNamed(names, scale)
+	rows := make([]stm.Params, len(names))
+	analyzeStream(names, scale, func(i int, prog *workloads.Program, rep *discopop.Report) {
+		rows[i] = stm.SuggestParams(stm.Derive(rep.Analysis))
+	})
 	for i, name := range names {
-		rep := reps[i]
-		txs := stm.Derive(rep.Analysis)
-		params := stm.SuggestParams(txs)
+		params := rows[i]
 		res.add(name, map[string]float64{"transactions": float64(params.Transactions)})
 		fmt.Fprintf(&sb, "%-10s %14d %12d %12v\n",
 			name, params.Transactions, params.MaxWriteSet, params.HighContention)

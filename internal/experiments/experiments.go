@@ -18,6 +18,7 @@ import (
 
 	"discopop"
 	"discopop/internal/interp"
+	"discopop/internal/mem"
 	"discopop/internal/profiler"
 	"discopop/internal/workloads"
 )
@@ -114,33 +115,32 @@ func jobOpt(name string, scale int) *discopop.Options {
 	return &discopop.Options{Cache: Cache, CacheKey: cacheKey(name, scale)}
 }
 
-// analyzeNamed builds the named workloads and analyzes them concurrently
-// through the batch engine, returning programs and reports in the order of
-// names.
-func analyzeNamed(names []string, scale int) ([]*workloads.Program, []*discopop.Report) {
-	progs := make([]*workloads.Program, len(names))
-	for i, name := range names {
-		progs[i] = buildWorkload(name, scale)
-	}
-	return progs, analyzePrograms(progs, scale)
-}
-
-// analyzeStream analyzes the named workloads concurrently and invokes fn
-// for each completed job as it arrives (completion order, with the job's
-// submission index). Unlike analyzeNamed it never holds more than one
-// report per pool worker alive: each report is released once fn returns,
-// which keeps the peak memory of whole-corpus sweeps flat. fn runs on the
-// draining goroutine, so it needs no locking.
+// analyzeStream builds the named workloads, analyzes them concurrently,
+// and invokes fn for each completed job as it arrives (completion order,
+// with the job's submission index). It never holds more than one report per
+// pool worker alive: each report is released once fn returns, which keeps
+// the peak memory of whole-corpus sweeps flat — callers accumulate the few
+// scalars their table needs, indexed by i, and format rows afterwards. fn
+// runs on the draining goroutine, so it needs no locking.
 func analyzeStream(names []string, scale int,
 	fn func(i int, prog *workloads.Program, rep *discopop.Report)) {
 	progs := make([]*workloads.Program, len(names))
 	for i, name := range names {
 		progs[i] = buildWorkload(name, scale)
 	}
+	analyzeStreamProgs(progs, scale, fn)
+}
+
+// analyzeStreamProgs is analyzeStream over prebuilt workloads (they must
+// come from buildWorkload at the same scale for the sweep cache to apply).
+// A failing job panics: the evaluation workloads are all expected to
+// analyze cleanly.
+func analyzeStreamProgs(progs []*workloads.Program, scale int,
+	fn func(i int, prog *workloads.Program, rep *discopop.Report)) {
 	e := discopop.NewEngine(discopop.Options{BatchWorkers: BatchWorkers})
 	go func() {
-		for i, name := range names {
-			e.Submit(discopop.Job{Name: name, Mod: progs[i].M, Opt: jobOpt(name, scale)})
+		for _, p := range progs {
+			e.Submit(discopop.Job{Name: p.Name, Mod: p.M, Opt: jobOpt(p.Name, scale)})
 		}
 		e.Close()
 	}()
@@ -152,39 +152,21 @@ func analyzeStream(names []string, scale int,
 	}
 }
 
-// analyzePrograms analyzes prebuilt workloads concurrently through the
-// batch engine, returning reports in program order. A failing job panics:
-// the evaluation workloads are all expected to analyze cleanly. Programs
-// must come from buildWorkload at the same scale for the sweep cache to
-// apply.
-func analyzePrograms(progs []*workloads.Program, scale int) []*discopop.Report {
-	jobs := make([]discopop.Job, len(progs))
-	for i, p := range progs {
-		jobs[i] = discopop.Job{Name: p.Name, Mod: p.M, Opt: jobOpt(p.Name, scale)}
-	}
-	results := discopop.AnalyzeAll(jobs, discopop.Options{BatchWorkers: BatchWorkers})
-	reps := make([]*discopop.Report, len(progs))
-	for i, jr := range results {
-		if jr.Err != nil {
-			panic(fmt.Sprintf("experiments: analyze %s: %v", jr.Name, jr.Err))
-		}
-		reps[i] = jr.Report
-	}
-	return reps
-}
-
 // nativeTime runs a program uninstrumented and returns wall time and
-// executed statements.
+// executed statements. Arena setup/recycling happens outside the timed
+// window, matching the paper's native-time measurements (process setup is
+// not part of the reported execution time).
 func nativeTime(p *workloads.Program) (time.Duration, int64) {
 	best := time.Duration(1<<62 - 1)
 	var instrs int64
 	for i := 0; i < timingRuns; i++ {
-		in := interp.New(p.M, nil)
+		in := interp.New(p.M, nil, interp.WithPool(mem.Default))
 		start := time.Now()
 		instrs = in.Run()
 		if d := time.Since(start); d < best {
 			best = d
 		}
+		in.Release()
 	}
 	return best, instrs
 }
@@ -195,7 +177,7 @@ func profiledTime(p *workloads.Program, opt profiler.Options) (time.Duration, *p
 	var res *profiler.Result
 	for i := 0; i < timingRuns; i++ {
 		prof := profiler.New(p.M, opt)
-		in := interp.New(p.M, prof)
+		in := interp.New(p.M, prof, interp.WithPool(mem.Default))
 		start := time.Now()
 		in.Run()
 		r := prof.Result()
@@ -203,6 +185,7 @@ func profiledTime(p *workloads.Program, opt profiler.Options) (time.Duration, *p
 			best = d
 			res = r
 		}
+		in.Release()
 	}
 	return best, res
 }

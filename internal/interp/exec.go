@@ -2,6 +2,7 @@ package interp
 
 import (
 	"discopop/internal/ir"
+	"discopop/internal/mem"
 )
 
 // This file executes statements, maintaining the region event protocol:
@@ -106,7 +107,7 @@ func (it *Interp) callFunc(t *thread, fn *ir.Func, args []argVal, callLoc ir.Loc
 func (it *Interp) stackAlloc(t *thread, n int) uint64 {
 	addr := t.sp
 	t.sp += uint64(n)
-	if t.sp > t.stack+stackElems {
+	if t.sp > t.stack+mem.StackElems {
 		it.panicf("thread %d stack overflow", t.id)
 	}
 	return addr

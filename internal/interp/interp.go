@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"discopop/internal/ir"
+	"discopop/internal/mem"
 )
 
 // LoopFrame is one level of the active loop-nest stack at the time of an
@@ -100,21 +101,25 @@ func (BaseTracer) ThreadStart(int32, int32) {}
 // ThreadEnd implements Tracer.
 func (BaseTracer) ThreadEnd(int32) {}
 
-// MaxThreads is the maximum number of simulated threads per execution.
-const MaxThreads = 64
+// MaxThreads is the maximum number of simulated threads per execution. The
+// address-space layout (internal/mem) reserves one stack segment per
+// thread; segments materialize lazily on first touch.
+const MaxThreads = mem.MaxThreads
 
-const (
-	maxThreads = MaxThreads
-	stackElems = 1 << 16
-	maxIters   = int64(1) << 40
-)
+const maxIters = int64(1) << 40
 
 // PrepareOps assigns static memory-operation IDs (Section 2.4's accessInfo
 // identities) to every Ref of the module, returning the number of
-// operations. The numbering is deterministic, so repeated calls are
-// idempotent. Loop headers use dedicated negative IDs derived from their
-// region, handled by the interpreter directly.
+// operations. The numbering runs exactly once per module (synchronized
+// through ir.Module): it is deterministic, so later calls return the
+// recorded count without re-writing Op fields a concurrent analysis of the
+// same module may be reading. Loop headers use dedicated negative IDs
+// derived from their region, handled by the interpreter directly.
 func PrepareOps(m *ir.Module) int32 {
+	return m.NumberOps(numberOps)
+}
+
+func numberOps(m *ir.Module) int32 {
 	var next int32
 	assign := func(e ir.Expr) {
 		ir.WalkExprs(e, func(x ir.Expr) {
@@ -154,16 +159,16 @@ func PrepareOps(m *ir.Module) int32 {
 }
 
 // Interp executes one module. Create with New, run with Run. An Interp is
-// single-use.
+// single-use: run it once, then (when constructed WithPool) call Release to
+// recycle its address space for the next run.
 type Interp struct {
 	mod    *ir.Module
 	tracer Tracer
 
-	mem        []float64
+	space      *mem.Space
+	pool       *mem.Pool // non-nil when the space came from a pool
+	layout     mem.Layout
 	globalBase map[*ir.Var]uint64
-	heapBase   uint64
-	heapNext   uint64
-	freeLists  map[int][]uint64 // size -> reusable heap bases
 
 	mainT    *thread
 	spawned  []*thread
@@ -184,18 +189,24 @@ type Interp struct {
 }
 
 // New creates an interpreter for module m reporting events to t (nil for an
-// uninstrumented run).
-func New(m *ir.Module, t Tracer) *Interp {
+// uninstrumented run). Options select where the simulated address space
+// comes from: by default a fresh lazily-materialized mem.Space, with
+// WithSpace/WithPool recycling arenas across runs.
+func New(m *ir.Module, t Tracer, opts ...Option) *Interp {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	it := &Interp{
 		mod:        m,
 		tracer:     t,
 		globalBase: map[*ir.Var]uint64{},
-		freeLists:  map[int][]uint64{},
 		mutexes:    map[int]int32{},
 		rng:        0x2545F4914F6CDD1D,
 	}
-	// Layout: [1, globals...][thread stacks][heap...). Address 0 is unused
-	// so that 0 can mean "no address".
+	// Globals occupy [1, globalsEnd) in declaration order; address 0 is
+	// unused so that 0 can mean "no address". Stack and heap segment
+	// boundaries are derived by the layout.
 	next := uint64(1)
 	for _, v := range m.Vars {
 		if v.Kind == ir.KGlobal {
@@ -203,13 +214,34 @@ func New(m *ir.Module, t Tracer) *Interp {
 			next += uint64(v.Elems)
 		}
 	}
-	stacksBase := next
-	it.heapBase = stacksBase + maxThreads*stackElems
-	it.heapNext = it.heapBase
-	it.mem = make([]float64, it.heapBase)
+	it.layout = mem.NewLayout(next)
+	switch {
+	case cfg.space != nil:
+		if cfg.space.Layout() != it.layout {
+			panic("interp: recycled space layout does not match the module")
+		}
+		it.space = cfg.space
+	case cfg.pool != nil:
+		it.space = cfg.pool.Get(it.layout)
+		it.pool = cfg.pool
+	default:
+		it.space = mem.NewSpace(it.layout)
+	}
 	it.nextOp = PrepareOps(m)
-	_ = stacksBase
 	return it
+}
+
+// Space exposes the interpreter's address space (state inspection, tests).
+func (it *Interp) Space() *mem.Space { return it.space }
+
+// Release returns a pooled address space for recycling. It is a no-op for
+// interpreters constructed without WithPool, and idempotent; the Interp
+// must not be used afterwards.
+func (it *Interp) Release() {
+	if it.pool != nil && it.space != nil {
+		it.pool.Put(it.space)
+	}
+	it.space = nil
 }
 
 // NumOps returns the number of static memory operations in the module.
@@ -246,24 +278,15 @@ func (it *Interp) Run() int64 {
 // of the same size so that addresses get recycled (the hazard the variable
 // lifetime analysis of Section 2.3.5 guards against).
 func (it *Interp) heapAlloc(n int) uint64 {
-	if lst := it.freeLists[n]; len(lst) > 0 {
-		base := lst[len(lst)-1]
-		it.freeLists[n] = lst[:len(lst)-1]
-		return base
-	}
-	base := it.heapNext
-	it.heapNext += uint64(n)
-	for uint64(len(it.mem)) < it.heapNext {
-		it.mem = append(it.mem, make([]float64, it.heapNext-uint64(len(it.mem)))...)
-	}
-	if it.heapNext-it.heapBase > it.MaxHeap {
-		it.MaxHeap = it.heapNext - it.heapBase
+	base := it.space.Alloc(n)
+	if h := it.space.MaxHeap(); h > it.MaxHeap {
+		it.MaxHeap = h
 	}
 	return base
 }
 
 func (it *Interp) heapFree(base uint64, n int) {
-	it.freeLists[n] = append(it.freeLists[n], base)
+	it.space.Free(base, n)
 }
 
 // Panicf aborts interpretation with a formatted runtime error.
@@ -278,10 +301,10 @@ func (it *Interp) load(t *thread, addr uint64, loc ir.Loc, v *ir.Var, op int32) 
 		it.tracer.Load(Access{Addr: addr, Loc: loc, Var: v, Op: op,
 			Thread: t.id, TS: it.ts, Loops: t.loops})
 	}
-	if addr >= uint64(len(it.mem)) {
+	if addr >= it.space.Bound() {
 		it.panicf("load out of range: %s[%d] at %s", v.Name, addr, loc)
 	}
-	return it.mem[addr]
+	return it.space.Load(addr)
 }
 
 func (it *Interp) store(t *thread, addr uint64, val float64, loc ir.Loc, v *ir.Var, op int32) {
@@ -291,10 +314,10 @@ func (it *Interp) store(t *thread, addr uint64, val float64, loc ir.Loc, v *ir.V
 		it.tracer.Store(Access{Addr: addr, Loc: loc, Var: v, Op: op,
 			Thread: t.id, TS: it.ts, Loops: t.loops})
 	}
-	if addr >= uint64(len(it.mem)) {
+	if addr >= it.space.Bound() {
 		it.panicf("store out of range: %s[%d] at %s", v.Name, addr, loc)
 	}
-	it.mem[addr] = val
+	it.space.Store(addr, val)
 }
 
 // addrOf resolves the base address of variable v in thread t's top frame.

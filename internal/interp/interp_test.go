@@ -23,7 +23,7 @@ func resultOf(t *testing.T, build func(b *ir.Builder, fb *ir.FuncBuilder, out *i
 	build(b, fb, out)
 	m := b.Build(fb.Done())
 	it := run(t, m, nil)
-	return it.mem[it.globalBase[out]]
+	return it.space.Load(it.globalBase[out])
 }
 
 func TestArithmetic(t *testing.T) {
@@ -90,7 +90,7 @@ func TestRecursionFibonacci(t *testing.T) {
 	mb.CallInto(ir.V(out), f, ir.CI(15))
 	m := b.Build(mb.Done())
 	it := run(t, m, nil)
-	if got := it.mem[it.globalBase[out]]; got != 610 {
+	if got := it.space.Load(it.globalBase[out]); got != 610 {
 		t.Fatalf("fib(15) = %v, want 610", got)
 	}
 }
@@ -109,7 +109,7 @@ func TestByRefAliasing(t *testing.T) {
 	mb.Call(incF, ir.At(arr, ir.CI(4)))
 	m := b.Build(mb.Done())
 	it := run(t, m, nil)
-	if got := it.mem[it.globalBase[arr]+4]; got != 12 {
+	if got := it.space.Load(it.globalBase[arr] + 4); got != 12 {
 		t.Fatalf("arr[4] = %v, want 12", got)
 	}
 }
@@ -150,7 +150,7 @@ func TestReturnInsideLoopFiresExitRegion(t *testing.T) {
 	tr := &regionTracer{exits: exits}
 	it := New(m, tr)
 	it.Run()
-	if got := it.mem[it.globalBase[out]]; got != 7 {
+	if got := it.space.Load(it.globalBase[out]); got != 7 {
 		t.Fatalf("early return value = %v, want 7", got)
 	}
 	if len(exits) == 0 {
@@ -268,7 +268,7 @@ func TestSpawnSyncLockedCounter(t *testing.T) {
 	mb.Sync()
 	m := b.Build(mb.Done())
 	it := run(t, m, nil)
-	if got := it.mem[it.globalBase[counter]]; got != threads*per {
+	if got := it.space.Load(it.globalBase[counter]); got != threads*per {
 		t.Fatalf("locked counter = %v, want %d", got, threads*per)
 	}
 }

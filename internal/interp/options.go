@@ -1,0 +1,28 @@
+package interp
+
+import "discopop/internal/mem"
+
+// Option configures an interpreter at construction.
+type Option func(*config)
+
+type config struct {
+	space *mem.Space
+	pool  *mem.Pool
+}
+
+// WithSpace runs the interpreter on a recycled address space instead of
+// allocating one. The space must be clean (fresh, or Reset since its last
+// run) and its layout must match the module's; New panics on a layout
+// mismatch, since silently remapping addresses would corrupt the run.
+// WithSpace wins over WithPool when both are given.
+func WithSpace(s *mem.Space) Option {
+	return func(c *config) { c.space = s }
+}
+
+// WithPool draws the address space from an arena pool and arranges for
+// Release to return it. Callers that neither call Release nor keep the
+// interpreter alive simply fall back to GC — pooling is an optimization,
+// never an obligation.
+func WithPool(p *mem.Pool) Option {
+	return func(c *config) { c.pool = p }
+}

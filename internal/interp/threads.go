@@ -38,13 +38,11 @@ type thread struct {
 
 func (t *thread) top() *frame { return t.frames[len(t.frames)-1] }
 
-func (it *Interp) stacksBase() uint64 { return it.heapBase - maxThreads*stackElems }
-
 func (it *Interp) newThread(id, parent int32) *thread {
 	t := &thread{
 		id:     id,
 		parent: parent,
-		stack:  it.stacksBase() + uint64(id)*stackElems,
+		stack:  it.layout.StackBase(id),
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
@@ -135,8 +133,8 @@ func (it *Interp) startSpawned(parent *thread, call *ir.CallExpr, loc ir.Loc) {
 	args := it.evalArgs(parent, call, loc)
 	id := it.nextTID
 	it.nextTID++
-	if id >= maxThreads {
-		it.panicf("too many threads (max %d)", maxThreads)
+	if id >= MaxThreads {
+		it.panicf("too many threads (max %d)", MaxThreads)
 	}
 	child := it.newThread(id, parent.id)
 	child.parentT = parent

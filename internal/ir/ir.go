@@ -10,7 +10,10 @@
 // control-dependence analyses of Chapter 3.
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Type is the scalar type of a variable. The runtime representation is
 // uniformly float64 (exact for integers below 2^53); the declared type is
@@ -192,6 +195,22 @@ type Module struct {
 	Vars    []*Var    // all vars, indexed by Var.ID
 	// Main is the entry function.
 	Main *Func
+
+	// opsOnce guards the one-time static memory-operation numbering (see
+	// NumberOps). Numbering is deterministic, so recording it once lets
+	// every later request read instead of re-writing Ref.Op fields that
+	// concurrent analyses of the same module may be reading.
+	opsOnce sync.Once
+	numOps  int32
+}
+
+// NumberOps runs the static memory-operation numbering exactly once per
+// module (synchronized) and returns the recorded operation count on every
+// call. The numbering function must be deterministic; interp.PrepareOps is
+// the canonical caller.
+func (m *Module) NumberOps(number func(*Module) int32) int32 {
+	m.opsOnce.Do(func() { m.numOps = number(m) })
+	return m.numOps
 }
 
 // FuncByName returns the function with the given name, or nil.

@@ -1,0 +1,133 @@
+package mem
+
+import "testing"
+
+func TestLayoutAlignment(t *testing.T) {
+	for _, globalsEnd := range []uint64{1, 2, PageSize - 1, PageSize, PageSize + 1, 3*PageSize + 7} {
+		l := NewLayout(globalsEnd)
+		if l.StacksBase%PageSize != 0 {
+			t.Fatalf("globalsEnd=%d: StacksBase %d not page-aligned", globalsEnd, l.StacksBase)
+		}
+		if l.StacksBase < globalsEnd {
+			t.Fatalf("globalsEnd=%d: stacks overlap globals", globalsEnd)
+		}
+		if l.HeapBase != l.StacksBase+MaxThreads*StackElems {
+			t.Fatalf("globalsEnd=%d: heap base %d does not follow the stacks", globalsEnd, l.HeapBase)
+		}
+		if got := l.StackBase(3); got != l.StacksBase+3*StackElems {
+			t.Fatalf("StackBase(3) = %d", got)
+		}
+	}
+}
+
+func TestLazyMaterialization(t *testing.T) {
+	s := NewSpace(NewLayout(100))
+	if s.Footprint() != 0 {
+		t.Fatalf("fresh space materialized %d bytes", s.Footprint())
+	}
+	// Loads from untouched pages read zero without materializing.
+	if v := s.Load(42); v != 0 {
+		t.Fatalf("untouched load = %v", v)
+	}
+	if s.Footprint() != 0 {
+		t.Fatalf("load materialized %d bytes", s.Footprint())
+	}
+	// A store materializes exactly one page.
+	s.Store(42, 3.5)
+	if s.Footprint() != PageSize*8 {
+		t.Fatalf("after one store footprint = %d, want one page", s.Footprint())
+	}
+	if v := s.Load(42); v != 3.5 {
+		t.Fatalf("load after store = %v", v)
+	}
+	// A store into a stack segment materializes just that segment.
+	s.Store(s.Layout().StackBase(0), 1)
+	if got := s.StackPagesTouched(); got != 1 {
+		t.Fatalf("stack pages touched = %d, want 1", got)
+	}
+	s.Store(s.Layout().StackBase(5), 1)
+	if got := s.StackPagesTouched(); got != 2 {
+		t.Fatalf("stack pages touched = %d, want 2", got)
+	}
+}
+
+func TestResetIsEquivalentToFresh(t *testing.T) {
+	l := NewLayout(10)
+	s := NewSpace(l)
+	s.Store(3, 7)
+	s.Store(l.StackBase(0)+5, 8)
+	base := s.Alloc(100)
+	s.Store(base, 9)
+	s.Free(base, 100)
+	s.Reset()
+
+	if v := s.Load(3); v != 0 {
+		t.Fatalf("global survived reset: %v", v)
+	}
+	if v := s.Load(l.StackBase(0) + 5); v != 0 {
+		t.Fatalf("stack slot survived reset: %v", v)
+	}
+	if s.Bound() != l.HeapBase {
+		t.Fatalf("heap not rewound: bound %d, want %d", s.Bound(), l.HeapBase)
+	}
+	if s.MaxHeap() != 0 {
+		t.Fatalf("max heap survived reset: %d", s.MaxHeap())
+	}
+	// The freed block must not be handed out post-reset (free lists clear):
+	// a fresh Alloc bump-allocates from HeapBase again.
+	if got := s.Alloc(100); got != l.HeapBase {
+		t.Fatalf("post-reset alloc at %d, want %d", got, l.HeapBase)
+	}
+	if v := s.Load(base); v != 0 {
+		t.Fatalf("heap value survived reset: %v", v)
+	}
+}
+
+func TestHeapFreeListReuse(t *testing.T) {
+	s := NewSpace(NewLayout(1))
+	a := s.Alloc(16)
+	s.Free(a, 16)
+	if b := s.Alloc(16); b != a {
+		t.Fatalf("freed block not reused: %d vs %d", b, a)
+	}
+	// Different size does not hit the freed block.
+	if c := s.Alloc(8); c == a {
+		t.Fatal("size-8 alloc reused a size-16 free block")
+	}
+}
+
+func TestHeapGrowthExtendsPageTable(t *testing.T) {
+	s := NewSpace(NewLayout(1))
+	base := s.Alloc(3 * PageSize)
+	last := base + 3*PageSize - 1
+	if last >= s.Bound() {
+		t.Fatalf("allocated address %d out of bound %d", last, s.Bound())
+	}
+	s.Store(last, 1.25)
+	if v := s.Load(last); v != 1.25 {
+		t.Fatalf("heap store/load across grown pages = %v", v)
+	}
+}
+
+func TestPoolRecyclesCleanSpaces(t *testing.T) {
+	p := NewPool()
+	l := NewLayout(64)
+	s := p.Get(l)
+	s.Store(7, 1)
+	s.Alloc(10)
+	p.Put(s)
+	s2 := p.Get(l)
+	// sync.Pool gives no identity guarantee; whatever comes back must be
+	// clean and of the right layout.
+	if s2.Layout() != l {
+		t.Fatalf("pooled space layout %+v, want %+v", s2.Layout(), l)
+	}
+	if v := s2.Load(7); v != 0 {
+		t.Fatalf("pooled space dirty: %v", v)
+	}
+	if s2.Bound() != l.HeapBase {
+		t.Fatalf("pooled space heap not rewound: %d", s2.Bound())
+	}
+	p.Put(s2)
+	p.Put(nil) // must not panic
+}

@@ -1,0 +1,55 @@
+package mem
+
+import "sync"
+
+// Pool recycles Spaces across runs, keyed by segment layout: a space can
+// only be handed to a module whose layout it was built for, because the
+// globals/stacks/heap boundaries are baked into every address the module
+// computes. Batch workers draw from one shared pool so each job pays a
+// Reset of the previous job's touched pages instead of allocating and
+// zeroing a fresh arena.
+//
+// Pools are concurrency-safe. Spaces are returned clean: Put resets before
+// pooling, so Get always hands out a space indistinguishable from a fresh
+// NewSpace. Pooled space storage is under sync.Pool and GC-reclaimed; the
+// per-layout index entry itself is a few words and persists, which is fine
+// at the realistic number of distinct module layouts per process.
+type Pool struct {
+	mu    sync.Mutex
+	pools map[Layout]*sync.Pool
+}
+
+// Default is the process-wide arena pool shared by every run entry point
+// (direct profiling, the pipeline's Profile stage, native baselines).
+var Default = NewPool()
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{pools: map[Layout]*sync.Pool{}}
+}
+
+func (p *Pool) forLayout(l Layout) *sync.Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp := p.pools[l]
+	if sp == nil {
+		sp = &sync.Pool{New: func() any { return NewSpace(l) }}
+		p.pools[l] = sp
+	}
+	return sp
+}
+
+// Get returns a clean space for the given layout, recycled when one is
+// available.
+func (p *Pool) Get(l Layout) *Space {
+	return p.forLayout(l).Get().(*Space)
+}
+
+// Put resets s and returns it to the pool for its layout.
+func (p *Pool) Put(s *Space) {
+	if s == nil {
+		return
+	}
+	s.Reset()
+	p.forLayout(s.layout).Put(s)
+}

@@ -1,8 +1,10 @@
 package pipeline
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"discopop/internal/ir"
@@ -28,13 +30,37 @@ import (
 //
 // Concurrent misses on one key coalesce: the first job profiles, the rest
 // block on the entry until the result is ready (per-entry once), so a
-// batch engine never profiles one key twice.
+// batch engine never profiles one key twice. Entries still in flight are
+// never evicted — two concurrent profiles of one key would race on the
+// shared module's operation numbering — so the guarantee holds at any cap
+// (the cache may transiently exceed its cap by the number of in-flight
+// profiles).
+//
+// The cache is bounded: once it holds more than its entry cap, the least
+// recently used completed entry is evicted, so a long-lived analysis
+// service cannot grow without bound. Eviction only forgets the memoization
+// — jobs already holding the evicted entry are unaffected, and a later
+// request for the key simply re-profiles.
 type ProfileCache struct {
-	mu sync.Mutex
-	m  map[profileKey]*profileEntry
+	mu  sync.Mutex
+	max int // entry cap; 0 = unbounded
+	m   map[profileKey]*list.Element
+	lru list.List // front = most recently used; Values are *cacheSlot
 
-	hits, misses int64
+	hits, misses, evictions int64
 }
+
+// cacheSlot is one LRU node: the key (needed to unmap on eviction) plus the
+// memoized entry.
+type cacheSlot struct {
+	key profileKey
+	e   *profileEntry
+}
+
+// DefaultCacheEntries is the entry cap of NewProfileCache — generous enough
+// that experiment sweeps (~dozens of distinct workloads) never evict, small
+// enough that a long-lived engine stays bounded.
+const DefaultCacheEntries = 1024
 
 // profileKey identifies one memoized profile. profiler.Options is a
 // comparable all-scalar struct, so it participates in the key directly.
@@ -45,6 +71,9 @@ type profileKey struct {
 
 type profileEntry struct {
 	once sync.Once
+	// done flips after the once completes; the LRU never evicts an entry
+	// still in flight (see the ProfileCache doc).
+	done atomic.Bool
 
 	mod      *ir.Module
 	res      *profiler.Result
@@ -54,9 +83,15 @@ type profileEntry struct {
 	err      error
 }
 
-// NewProfileCache returns an empty cache.
+// NewProfileCache returns an empty cache with the default entry cap.
 func NewProfileCache() *ProfileCache {
-	return &ProfileCache{m: map[profileKey]*profileEntry{}}
+	return NewProfileCacheSize(DefaultCacheEntries)
+}
+
+// NewProfileCacheSize returns an empty cache evicting least-recently-used
+// entries beyond max (0 = unbounded).
+func NewProfileCacheSize(max int) *ProfileCache {
+	return &ProfileCache{max: max, m: map[profileKey]*list.Element{}}
 }
 
 // Stats returns the hit/miss counters.
@@ -66,13 +101,47 @@ func (c *ProfileCache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
+// Evictions returns the number of entries dropped by the LRU bound.
+func (c *ProfileCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Len returns the number of live entries.
+func (c *ProfileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
 func (c *ProfileCache) entry(key profileKey) *profileEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e := c.m[key]
-	if e == nil {
-		e = &profileEntry{}
-		c.m[key] = e
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheSlot).e
+	}
+	e := &profileEntry{}
+	c.m[key] = c.lru.PushFront(&cacheSlot{key: key, e: e})
+	// Evict least-recently-used completed entries down to the cap; entries
+	// still in flight are skipped (they may exceed the cap transiently).
+	for c.max > 0 && c.lru.Len() > c.max {
+		evicted := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			slot := el.Value.(*cacheSlot)
+			if !slot.e.done.Load() {
+				continue
+			}
+			delete(c.m, slot.key)
+			c.lru.Remove(el)
+			c.evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			break
+		}
 	}
 	return e
 }
@@ -97,6 +166,7 @@ func (c *ProfileCache) lookup(key string, opt profiler.Options, mod *ir.Module) 
 		hit = false
 		e.run(mod, opt)
 	})
+	e.done.Store(true)
 	c.count(hit)
 	return e, hit
 }

@@ -169,3 +169,100 @@ func TestFleetDepsStreamsJobDeps(t *testing.T) {
 		t.Fatalf("FleetStats.DistinctDeps = %d, want %d", stats.DistinctDeps, len(want))
 	}
 }
+
+// TestProfileCacheLRUEviction: beyond the entry cap the least recently
+// used key is dropped (and counted), while recently touched keys survive.
+func TestProfileCacheLRUEviction(t *testing.T) {
+	cache := NewProfileCacheSize(2)
+	profile := func(name string) {
+		ctx := &Context{Mod: workloads.MustBuild(name, 1).M,
+			Opt: Options{Cache: cache, CacheKey: name + "@1"}}
+		if err := New().Run(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	profile("histogram") // LRU order: histogram
+	profile("kmeans")    // kmeans, histogram
+	profile("histogram") // histogram, kmeans (touch refreshes recency)
+	profile("EP")        // EP, histogram — kmeans evicted
+	if ev := cache.Evictions(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if n := cache.Len(); n != 2 {
+		t.Fatalf("live entries = %d, want 2", n)
+	}
+	hits0, misses0 := cache.Stats()
+	profile("histogram") // survived: must hit
+	profile("kmeans")    // evicted: must re-profile (and evict histogram's peer EP)
+	hits1, misses1 := cache.Stats()
+	if hits1-hits0 != 1 {
+		t.Fatalf("surviving key did not hit: %d hits added", hits1-hits0)
+	}
+	if misses1-misses0 != 1 {
+		t.Fatalf("evicted key did not re-profile: %d misses added", misses1-misses0)
+	}
+}
+
+// TestProfileCacheUnboundedWithZeroCap: cap 0 disables eviction.
+func TestProfileCacheUnboundedWithZeroCap(t *testing.T) {
+	cache := NewProfileCacheSize(0)
+	for _, name := range []string{"histogram", "kmeans", "EP", "IS"} {
+		ctx := &Context{Mod: workloads.MustBuild(name, 1).M,
+			Opt: Options{Cache: cache, CacheKey: name + "@1"}}
+		if err := New().Run(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ev := cache.Evictions(); ev != 0 {
+		t.Fatalf("unbounded cache evicted %d entries", ev)
+	}
+	if n := cache.Len(); n != 4 {
+		t.Fatalf("live entries = %d, want 4", n)
+	}
+}
+
+// TestFleetStatsCacheEvictions: the engine surfaces eviction counts of the
+// caches its jobs used.
+func TestFleetStatsCacheEvictions(t *testing.T) {
+	cache := NewProfileCacheSize(1)
+	names := []string{"histogram", "kmeans", "EP"}
+	jobs := make([]Job, len(names))
+	for i, name := range names {
+		opt := Options{Cache: cache, CacheKey: name + "@1"}
+		jobs[i] = Job{Name: name, Mod: workloads.MustBuild(name, 1).M, Opt: &opt}
+	}
+	// One worker: jobs complete in sequence, so each insertion beyond the
+	// cap finds a completed entry to evict (in-flight entries are exempt).
+	_, stats := AnalyzeAllStats(jobs, Options{BatchWorkers: 1})
+	if stats.CacheEvictions != cache.Evictions() {
+		t.Fatalf("FleetStats.CacheEvictions = %d, cache reports %d",
+			stats.CacheEvictions, cache.Evictions())
+	}
+	if stats.CacheEvictions < 1 {
+		t.Fatalf("cap-1 cache over 3 keys evicted %d entries, want >= 1", stats.CacheEvictions)
+	}
+}
+
+// TestLRUNeverEvictsInFlightEntries: an entry whose profiling run has not
+// completed is exempt from eviction — evicting it would let a concurrent
+// request re-profile the same key (racing on the shared module's operation
+// numbering). The cap may be exceeded transiently instead.
+func TestLRUNeverEvictsInFlightEntries(t *testing.T) {
+	c := NewProfileCacheSize(1)
+	e1 := c.entry(profileKey{mod: "a"}) // in flight: done not yet set
+	c.entry(profileKey{mod: "b"})       // over cap, but nothing evictable
+	if n, ev := c.Len(), c.Evictions(); n != 2 || ev != 0 {
+		t.Fatalf("in-flight entry evicted: len=%d evictions=%d", n, ev)
+	}
+	e1.done.Store(true)
+	c.entry(profileKey{mod: "c"}) // now "a" (completed, least recent) goes
+	if n, ev := c.Len(), c.Evictions(); n != 2 || ev != 1 {
+		t.Fatalf("completed entry not evicted: len=%d evictions=%d", n, ev)
+	}
+	if _, ok := c.m[profileKey{mod: "a"}]; ok {
+		t.Fatal("completed LRU entry still mapped")
+	}
+	if _, ok := c.m[profileKey{mod: "b"}]; !ok {
+		t.Fatal("in-flight entry was dropped")
+	}
+}

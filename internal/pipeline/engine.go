@@ -23,7 +23,8 @@ type Job struct {
 	// Opt overrides the engine-wide default options when non-nil.
 	Opt *Options
 
-	index int // submission order, stamped by Submit
+	index     int       // submission order, stamped by Submit
+	submitted time.Time // enqueue time, stamped by Submit
 }
 
 // JobResult is the outcome of one job. Exactly one of Report and Err is
@@ -37,6 +38,9 @@ type JobResult struct {
 	Err    error
 	// Elapsed is the job's total wall time inside a worker.
 	Elapsed time.Duration
+	// QueueLat is the time the job waited between Submit and a worker
+	// picking it up.
+	QueueLat time.Duration
 }
 
 // FleetStats aggregates observability counters across all completed jobs
@@ -60,9 +64,16 @@ type FleetStats struct {
 	// CacheHits counts jobs whose Profile stage was served from a
 	// ProfileCache (no instrumented execution ran).
 	CacheHits int
+	// CacheEvictions is the number of entries the jobs' ProfileCaches have
+	// dropped under their LRU bound (summed over the distinct caches the
+	// engine has seen).
+	CacheEvictions int64
 	// DistinctDeps is the number of distinct dependences in the fleet-level
 	// sharded accumulator (0 unless Options.CollectFleetDeps is set).
 	DistinctDeps int
+	// QueueLat is the distribution of per-job queue latency (Submit to
+	// worker pickup): exact min/max/mean plus a fixed-bucket histogram.
+	QueueLat LatencyHist
 }
 
 // Engine fans analysis jobs across a bounded worker pool and streams
@@ -96,8 +107,13 @@ type Engine struct {
 	next   int // submission index
 	closed bool
 
-	mu    sync.Mutex // guards stats
+	mu    sync.Mutex // guards stats and caches
 	stats FleetStats
+	// caches records the distinct ProfileCaches jobs have used, mapped to
+	// the cache's eviction count when first seen, so Stats can report the
+	// evictions attributable to this engine rather than a shared cache's
+	// lifetime total.
+	caches map[*ProfileCache]int64
 
 	// fleetDeps accumulates every completed job's dependences, sharded by
 	// sink location so concurrent workers stream their merges instead of
@@ -142,6 +158,7 @@ func NewEngineWith(pl *Pipeline, opt Options) *Engine {
 		e.fleetDeps = profiler.NewDepShards(0)
 	}
 	e.stats.StageTime = map[string]time.Duration{}
+	e.caches = map[*ProfileCache]int64{}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go e.run()
@@ -158,6 +175,7 @@ func (e *Engine) Submit(j Job) {
 		panic("pipeline: Submit on closed engine")
 	}
 	j.index = e.next
+	j.submitted = time.Now()
 	e.next++
 	e.jobs <- j
 }
@@ -190,6 +208,9 @@ func (e *Engine) Stats() FleetStats {
 	for k, v := range e.stats.StageTime {
 		s.StageTime[k] = v
 	}
+	for c, base := range e.caches {
+		s.CacheEvictions += c.Evictions() - base
+	}
 	e.mu.Unlock()
 	if e.fleetDeps != nil {
 		s.DistinctDeps = e.fleetDeps.Distinct()
@@ -220,6 +241,9 @@ func (e *Engine) run() {
 func (e *Engine) runJob(j Job) (res *JobResult) {
 	start := time.Now()
 	res = &JobResult{Index: j.index, Name: j.Name}
+	if !j.submitted.IsZero() {
+		res.QueueLat = start.Sub(j.submitted)
+	}
 	var ctx *Context
 	defer func() {
 		if r := recover(); r != nil {
@@ -256,11 +280,17 @@ func (e *Engine) record(res *JobResult, ctx *Context) {
 	defer e.mu.Unlock()
 	e.stats.Jobs++
 	e.stats.Busy += res.Elapsed
+	e.stats.QueueLat.Observe(res.QueueLat)
 	if res.Err != nil {
 		e.stats.Failed++
 	}
 	if ctx == nil {
 		return
+	}
+	if c := ctx.Opt.Cache; c != nil {
+		if _, seen := e.caches[c]; !seen {
+			e.caches[c] = c.Evictions()
+		}
 	}
 	if ctx.CacheHit {
 		e.stats.CacheHits++

@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// latBounds are the upper bounds of the fixed histogram buckets (the last
+// bucket is unbounded). Powers of four from 1µs to 1s cover everything from
+// an idle pool handing a job straight to a worker, up to a saturated engine
+// queueing jobs for seconds.
+var latBounds = [...]time.Duration{
+	1 * time.Microsecond, 4 * time.Microsecond, 16 * time.Microsecond,
+	64 * time.Microsecond, 256 * time.Microsecond,
+	1 * time.Millisecond, 4 * time.Millisecond, 16 * time.Millisecond,
+	64 * time.Millisecond, 256 * time.Millisecond,
+	1 * time.Second,
+}
+
+// latencyBuckets is the number of histogram buckets (len(latBounds)+1 for
+// the unbounded tail).
+const latencyBuckets = len(latBounds) + 1
+
+// LatencyHist summarizes a latency distribution with exact min/max/mean and
+// a small fixed-bucket histogram (from which Median interpolates a p50).
+// The fixed bucket array keeps FleetStats copyable by value.
+type LatencyHist struct {
+	Count    int64
+	Min, Max time.Duration
+	Sum      time.Duration
+	Buckets  [latencyBuckets]int64
+}
+
+// Observe folds one sample into the histogram.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if h.Count == 0 || d < h.Min {
+		h.Min = d
+	}
+	if d > h.Max {
+		h.Max = d
+	}
+	h.Count++
+	h.Sum += d
+	h.Buckets[bucketFor(d)]++
+}
+
+func bucketFor(d time.Duration) int {
+	for i, b := range latBounds {
+		if d < b {
+			return i
+		}
+	}
+	return latencyBuckets - 1
+}
+
+// bucketRange returns the [lo, hi) span of bucket i, clamped to the
+// observed min/max so interpolation never leaves the sampled range.
+func (h *LatencyHist) bucketRange(i int) (lo, hi time.Duration) {
+	if i > 0 {
+		lo = latBounds[i-1]
+	}
+	if i < len(latBounds) {
+		hi = latBounds[i]
+	} else {
+		hi = h.Max
+	}
+	if lo < h.Min {
+		lo = h.Min
+	}
+	if hi > h.Max {
+		hi = h.Max
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Mean returns the average observed latency.
+func (h *LatencyHist) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Median estimates the 50th percentile by linear interpolation inside the
+// bucket containing the middle sample.
+func (h *LatencyHist) Median() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	target := (h.Count + 1) / 2
+	var seen int64
+	for i, n := range h.Buckets {
+		if seen+n < target {
+			seen += n
+			continue
+		}
+		lo, hi := h.bucketRange(i)
+		frac := float64(target-seen) / float64(n+1)
+		return lo + time.Duration(float64(hi-lo)*frac)
+	}
+	return h.Max
+}
+
+// String renders the non-empty buckets compactly, e.g.
+// "<16µs:3 <64µs:12 <1ms:1".
+func (h *LatencyHist) String() string {
+	if h.Count == 0 {
+		return "no samples"
+	}
+	var parts []string
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if i < len(latBounds) {
+			parts = append(parts, fmt.Sprintf("<%s:%d", latBounds[i], n))
+		} else {
+			parts = append(parts, fmt.Sprintf(">=%s:%d", latBounds[len(latBounds)-1], n))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"discopop/internal/workloads"
+)
+
+func TestLatencyHistObserve(t *testing.T) {
+	var h LatencyHist
+	if h.Median() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	samples := []time.Duration{
+		500 * time.Nanosecond, 2 * time.Microsecond, 3 * time.Microsecond,
+		20 * time.Microsecond, 30 * time.Millisecond,
+	}
+	for _, d := range samples {
+		h.Observe(d)
+	}
+	if h.Count != int64(len(samples)) {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Min != 500*time.Nanosecond || h.Max != 30*time.Millisecond {
+		t.Fatalf("min/max = %s/%s", h.Min, h.Max)
+	}
+	med := h.Median()
+	if med < h.Min || med > h.Max {
+		t.Fatalf("median %s outside [min, max]", med)
+	}
+	// The middle sample is 3µs; the estimate must land in its bucket's
+	// span [1µs, 4µs).
+	if med < 1*time.Microsecond || med >= 4*time.Microsecond {
+		t.Fatalf("median %s not in the middle sample's bucket", med)
+	}
+	var n int64
+	for _, b := range h.Buckets {
+		n += b
+	}
+	if n != h.Count {
+		t.Fatalf("bucket sum %d != count %d", n, h.Count)
+	}
+	if h.String() == "no samples" {
+		t.Fatal("String() empty for populated histogram")
+	}
+}
+
+func TestLatencyHistTailBucket(t *testing.T) {
+	var h LatencyHist
+	h.Observe(5 * time.Second) // beyond the last bound
+	if h.Buckets[latencyBuckets-1] != 1 {
+		t.Fatal("out-of-range sample not in the tail bucket")
+	}
+	if got := h.Median(); got != 5*time.Second {
+		t.Fatalf("single-sample median = %s, want the sample", got)
+	}
+}
+
+// TestEngineRecordsQueueLatency: every job submitted through the engine
+// contributes one queue-latency sample, and per-job results carry theirs.
+func TestEngineRecordsQueueLatency(t *testing.T) {
+	names := []string{"histogram", "kmeans", "EP", "IS"}
+	jobs := make([]Job, len(names))
+	for i, name := range names {
+		jobs[i] = Job{Name: name, Mod: workloads.MustBuild(name, 1).M}
+	}
+	results, stats := AnalyzeAllStats(jobs, Options{BatchWorkers: 2})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.QueueLat < 0 {
+			t.Fatalf("%s: negative queue latency %s", r.Name, r.QueueLat)
+		}
+	}
+	q := stats.QueueLat
+	if q.Count != int64(len(jobs)) {
+		t.Fatalf("queue latency samples = %d, want %d", q.Count, len(jobs))
+	}
+	if q.Min > q.Max || q.Median() < q.Min || q.Median() > q.Max {
+		t.Fatalf("inconsistent summary: min %s median %s max %s", q.Min, q.Median(), q.Max)
+	}
+}

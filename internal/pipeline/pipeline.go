@@ -27,6 +27,7 @@ import (
 	"discopop/internal/discovery"
 	"discopop/internal/interp"
 	"discopop/internal/ir"
+	"discopop/internal/mem"
 	"discopop/internal/pet"
 	"discopop/internal/profiler"
 	"discopop/internal/rank"
@@ -203,11 +204,14 @@ func (Profile) Run(ctx *Context) error {
 
 // execInstrumented runs mod under prof and a fresh PET builder (plus any
 // extra tracers) observing one event stream — the Phase-1 execution shared
-// by the Profile stage and the ProfileCache.
+// by the Profile stage and the ProfileCache. The simulated address space is
+// recycled through the shared arena pool, so batch workers stop paying an
+// arena allocation (and its zeroing) per job.
 func execInstrumented(mod *ir.Module, prof *profiler.Profiler, extra []interp.Tracer) (*pet.Builder, int64, time.Duration) {
 	pb := pet.NewBuilder()
 	tracers := append([]interp.Tracer{prof, pb}, extra...)
-	in := interp.New(mod, &interp.MultiTracer{Tracers: tracers})
+	in := interp.New(mod, &interp.MultiTracer{Tracers: tracers}, interp.WithPool(mem.Default))
+	defer in.Release()
 	start := time.Now()
 	instrs := in.Run()
 	return pb, instrs, time.Since(start)

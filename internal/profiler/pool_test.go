@@ -1,0 +1,52 @@
+package profiler
+
+import (
+	"reflect"
+	"testing"
+
+	"discopop/internal/interp"
+	"discopop/internal/mem"
+	"discopop/internal/workloads"
+)
+
+// TestPooledArenaDifferential: profiling on a recycled arena must produce
+// byte-identical dependence tables to profiling on a freshly allocated one.
+// The pool is seeded by a first pooled run, so the second pooled run is
+// guaranteed to execute on a dirtied-then-Reset space.
+func TestPooledArenaDifferential(t *testing.T) {
+	opts := []Options{
+		{Store: StorePerfect},
+		{Store: StorePerfect, Skip: true},
+		{Store: StoreSignature, Slots: 1 << 16},
+	}
+	for _, name := range []string{"CG", "histogram", "kmeans"} {
+		for _, opt := range opts {
+			pool := mem.NewPool()
+			runPooled := func() *Result {
+				m := workloads.MustBuild(name, 1).M
+				p := New(m, opt)
+				in := interp.New(m, p, interp.WithPool(pool))
+				defer in.Release()
+				in.Run()
+				return p.Result()
+			}
+			runFresh := func() *Result {
+				m := workloads.MustBuild(name, 1).M
+				p := New(m, opt)
+				interp.New(m, p).Run()
+				return p.Result()
+			}
+			runPooled() // seed the pool with a dirtied space
+			recycled := runPooled()
+			fresh := runFresh()
+			if fresh.Accesses != recycled.Accesses {
+				t.Fatalf("%s/%+v: access counts diverged: %d vs %d",
+					name, opt, fresh.Accesses, recycled.Accesses)
+			}
+			if !reflect.DeepEqual(fresh.Deps, recycled.Deps) {
+				t.Fatalf("%s/%+v: dependence tables diverged between fresh and recycled arenas (%d vs %d deps)",
+					name, opt, len(fresh.Deps), len(recycled.Deps))
+			}
+		}
+	}
+}

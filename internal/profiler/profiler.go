@@ -3,6 +3,7 @@ package profiler
 import (
 	"discopop/internal/interp"
 	"discopop/internal/ir"
+	"discopop/internal/mem"
 	"discopop/internal/sig"
 )
 
@@ -413,10 +414,13 @@ func (s *SkipStats) add(o *SkipStats) {
 }
 
 // Profile is a convenience helper: it profiles module m with the given
-// options and returns the result.
+// options and returns the result. The simulated address space is drawn
+// from (and recycled through) the shared arena pool, so repeated profiling
+// runs do not pay an arena allocation each.
 func Profile(m *ir.Module, opt Options) *Result {
 	p := New(m, opt)
-	in := interp.New(m, p)
+	in := interp.New(m, p, interp.WithPool(mem.Default))
+	defer in.Release()
 	in.Run()
 	return p.Result()
 }

@@ -1,29 +1,40 @@
 #!/usr/bin/env bash
-# scripts/bench.sh [label] — run the headline benchmarks and fold the
-# results into BENCH_PR2.json (minimum ns/op per benchmark over COUNT
-# runs). Labels accumulate in the JSON: run once on the base commit with
-# label "before" and once on the PR with the default "after" to record the
-# perf trajectory.
+# scripts/bench.sh [label] — run the headline benchmarks, fold the results
+# into $BENCH_OUT (minimum ns/op per benchmark over COUNT runs, one JSON
+# object per recorded label), then diff the run against the most recent
+# other BENCH_*.json record and print the per-benchmark deltas (also written
+# to scripts/bench-results/delta.md as a markdown table for CI summaries).
+#
+# Labels accumulate in the JSON: run once on the base commit with label
+# "before" and once on the PR with the default "after" to record the perf
+# trajectory.
 #
 #   COUNT=5 BENCHTIME=20x scripts/bench.sh before
-#   scripts/bench.sh
+#   scripts/bench.sh                                  # label "after"
+#   # Throwaway smoke runs: point BOTH outputs away from the committed
+#   # record, or the stale .out label pollutes the next real regeneration.
+#   COUNT=1 BENCHTIME=1x RESULTS_DIR=$(mktemp -d) BENCH_OUT=/tmp/s.json \
+#     scripts/bench.sh smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-after}"
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-20x}"
-BENCH="${BENCH:-BenchmarkProfilerThroughput\$|BenchmarkAnalyzeAll\$}"
+BENCH="${BENCH:-BenchmarkProfilerThroughput\$|BenchmarkAnalyzeAll\$|BenchmarkInterpNative\$}"
+BENCH_OUT="${BENCH_OUT:-BENCH_PR3.json}"
+RESULTS_DIR="${RESULTS_DIR:-scripts/bench-results}"
 
-mkdir -p scripts/bench-results
+mkdir -p "$RESULTS_DIR" scripts/bench-results
 go test -run NONE -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" . \
-  | tee "scripts/bench-results/$label.out"
+  | tee "$RESULTS_DIR/$label.out"
 
-# Regenerate BENCH_PR2.json from every recorded label.
+# Regenerate $BENCH_OUT from every label recorded in $RESULTS_DIR (min
+# ns/op per benchmark).
 {
   echo '{'
   first=1
-  for f in scripts/bench-results/*.out; do
+  for f in "$RESULTS_DIR"/*.out; do
     l=$(basename "$f" .out)
     [ "$first" -eq 1 ] || echo ','
     first=0
@@ -46,6 +57,46 @@ go test -run NONE -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" . \
   done
   echo
   echo '}'
-} > BENCH_PR2.json
-echo "wrote BENCH_PR2.json:"
-cat BENCH_PR2.json
+} > "$BENCH_OUT"
+echo "wrote $BENCH_OUT"
+
+# vals_for_label FILE LABEL — emit "benchmark ns" pairs recorded under one
+# label of a BENCH_*.json (labels are one object per line by construction).
+vals_for_label() {
+  sed -n "s/^ *\"$2\": {\(.*\)}.*$/\1/p" "$1" | tr ',' '\n' \
+    | sed 's/[" ]//g' | awk -F: 'NF==2 {sub(/_ns_per_op$/, "", $1); print $1, $2}'
+}
+
+# Diff this run against the newest other BENCH_*.json record ("after"
+# values when present, else its first label).
+base=$(ls -v BENCH_PR*.json 2>/dev/null | grep -vx "$BENCH_OUT" | tail -1 || true)
+delta=scripts/bench-results/delta.md
+if [ -z "$base" ]; then
+  echo "no previous BENCH_*.json to diff against" | tee "$delta"
+  exit 0
+fi
+baselab="after"
+if [ -z "$(vals_for_label "$base" "$baselab")" ]; then
+  baselab=$(sed -n 's/^ *"\([^"]*\)": {.*/\1/p' "$base" | head -1)
+fi
+{
+  echo "### Benchmark delta: \`$label\` vs \`$base\` (\`$baselab\`)"
+  echo
+  echo "| benchmark | $base ns/op | $label ns/op | delta |"
+  echo "|---|---:|---:|---:|"
+  {
+    vals_for_label "$base" "$baselab" | sed 's/^/old /'
+    vals_for_label "$BENCH_OUT" "$label" | sed 's/^/new /'
+  } | awk '
+    $1 == "old" { old[$2] = $3; next }
+    $1 == "new" { new[$2] = $3; order[++k] = $2 }
+    END {
+      for (i = 1; i <= k; i++) {
+        b = order[i]
+        if (b in old && old[b] > 0)
+          printf "| %s | %d | %d | %+.1f%% |\n", b, old[b], new[b], 100 * (new[b] - old[b]) / old[b]
+        else
+          printf "| %s | - | %d | new |\n", b, new[b]
+      }
+    }'
+} | tee "$delta"
