@@ -87,6 +87,10 @@ func main() {
 			fmt.Printf("  profile cache: %d hits, %d evictions\n",
 				fleet.CacheHits, fleet.CacheEvictions)
 		}
+		if p := fleet.Pool; p.Gets > 0 {
+			fmt.Printf("  arena pool: %d gets, %d puts, %d fresh allocations (%d recycled)\n",
+				p.Gets, p.Puts, p.Fresh, p.Gets-p.Fresh)
+		}
 	}
 	if failed {
 		os.Exit(1)

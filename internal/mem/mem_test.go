@@ -1,6 +1,9 @@
 package mem
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestLayoutAlignment(t *testing.T) {
 	for _, globalsEnd := range []uint64{1, 2, PageSize - 1, PageSize, PageSize + 1, 3*PageSize + 7} {
@@ -130,4 +133,59 @@ func TestPoolRecyclesCleanSpaces(t *testing.T) {
 	}
 	p.Put(s2)
 	p.Put(nil) // must not panic
+}
+
+func TestPoolStatsCounters(t *testing.T) {
+	p := NewPool()
+	l := NewLayout(64)
+	if s := p.Stats(); s != (PoolStats{}) {
+		t.Fatalf("fresh pool stats = %+v, want zero", s)
+	}
+	s1 := p.Get(l) // first checkout must allocate
+	st := p.Stats()
+	if st.Gets != 1 || st.Fresh != 1 || st.Puts != 0 {
+		t.Fatalf("after first Get: %+v, want Gets=1 Fresh=1 Puts=0", st)
+	}
+	p.Put(s1)
+	s2 := p.Get(l)
+	st = p.Stats()
+	if st.Gets != 2 || st.Puts != 1 {
+		t.Fatalf("after recycle: %+v, want Gets=2 Puts=1", st)
+	}
+	// sync.Pool may drop the recycled space (GC), so Fresh is 1 or 2 —
+	// never more than Gets.
+	if st.Fresh > st.Gets {
+		t.Fatalf("Fresh %d exceeds Gets %d", st.Fresh, st.Gets)
+	}
+	p.Put(s2)
+	p.Put(nil) // nil Put must not count
+	if st = p.Stats(); st.Puts != 2 {
+		t.Fatalf("after nil Put: Puts=%d, want 2", st.Puts)
+	}
+}
+
+func TestPoolStatsConcurrent(t *testing.T) {
+	p := NewPool()
+	l := NewLayout(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := p.Get(l)
+				s.Store(1, float64(i))
+				p.Put(s)
+				p.Stats() // scrape concurrently with traffic
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Gets != 400 || st.Puts != 400 {
+		t.Fatalf("concurrent stats %+v, want Gets=Puts=400", st)
+	}
+	if st.Fresh < 1 || st.Fresh > st.Gets {
+		t.Fatalf("Fresh %d out of range [1, %d]", st.Fresh, st.Gets)
+	}
 }

@@ -1,6 +1,9 @@
 package mem
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool recycles Spaces across runs, keyed by segment layout: a space can
 // only be handed to a module whose layout it was built for, because the
@@ -14,9 +17,29 @@ import "sync"
 // NewSpace. Pooled space storage is under sync.Pool and GC-reclaimed; the
 // per-layout index entry itself is a few words and persists, which is fine
 // at the realistic number of distinct module layouts per process.
+//
+// The pool keeps three lifetime counters (Stats): Gets and Puts count the
+// checkout/return traffic, Fresh counts the Gets that could not be served
+// from a recycled space and allocated a new arena. Gets − Fresh is the
+// number of recycled checkouts; Gets − Puts is the number of spaces
+// currently checked out (assuming every Get is eventually Put).
 type Pool struct {
 	mu    sync.Mutex
 	pools map[Layout]*sync.Pool
+
+	gets, puts, fresh atomic.Int64
+}
+
+// PoolStats is a snapshot of a Pool's lifetime counters.
+type PoolStats struct {
+	// Gets is the number of spaces checked out.
+	Gets int64
+	// Puts is the number of spaces returned.
+	Puts int64
+	// Fresh is the number of Gets that allocated a new space because no
+	// recycled one was available (a sync.Pool miss, including GC-reclaimed
+	// arenas).
+	Fresh int64
 }
 
 // Default is the process-wide arena pool shared by every run entry point
@@ -33,7 +56,10 @@ func (p *Pool) forLayout(l Layout) *sync.Pool {
 	defer p.mu.Unlock()
 	sp := p.pools[l]
 	if sp == nil {
-		sp = &sync.Pool{New: func() any { return NewSpace(l) }}
+		sp = &sync.Pool{New: func() any {
+			p.fresh.Add(1)
+			return NewSpace(l)
+		}}
 		p.pools[l] = sp
 	}
 	return sp
@@ -42,6 +68,7 @@ func (p *Pool) forLayout(l Layout) *sync.Pool {
 // Get returns a clean space for the given layout, recycled when one is
 // available.
 func (p *Pool) Get(l Layout) *Space {
+	p.gets.Add(1)
 	return p.forLayout(l).Get().(*Space)
 }
 
@@ -50,6 +77,19 @@ func (p *Pool) Put(s *Space) {
 	if s == nil {
 		return
 	}
+	p.puts.Add(1)
 	s.Reset()
 	p.forLayout(s.layout).Put(s)
+}
+
+// Stats returns a snapshot of the pool's lifetime counters. It is safe to
+// call concurrently with Get and Put; the three counters are read
+// individually, so a snapshot taken mid-checkout may observe the Get before
+// the matching Fresh.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Gets:  p.gets.Load(),
+		Puts:  p.puts.Load(),
+		Fresh: p.fresh.Load(),
+	}
 }

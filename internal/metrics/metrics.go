@@ -1,0 +1,251 @@
+// Package metrics is a small, dependency-free encoder (and strict parser)
+// for the Prometheus text exposition format, version 0.0.4 — the format a
+// /metrics endpoint serves to a scraper.
+//
+// It deliberately has no registry and no background state: the engine's
+// observability counters (pipeline.FleetStats, cache counters, pool
+// counters) are already accumulated elsewhere and snapshotted per scrape,
+// so the encoder only renders values it is handed:
+//
+//	var buf bytes.Buffer
+//	e := metrics.NewEncoder(&buf)
+//	e.Counter("dp_jobs_completed_total", "Jobs completed.", metrics.V(float64(s.Jobs)))
+//	e.Gauge("dp_jobs_inflight", "Queued or running jobs.",
+//	    metrics.V(float64(s.Submitted-s.Jobs)))
+//	e.Histogram("dp_queue_latency_seconds", "Submit-to-pickup latency.", hist)
+//	if err := e.Err(); err != nil { ... }
+//
+// Families render in call order; each family is emitted exactly once (a
+// repeated name is an error, caught by Err). Parse reads the same format
+// back for tests and smoke checks.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair attached to a sample.
+type Label struct {
+	Name, Value string
+}
+
+// L builds a label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Sample is one measured value of a metric family, with optional labels.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// V builds an unlabeled sample.
+func V(v float64) Sample { return Sample{Value: v} }
+
+// LV builds a labeled sample.
+func LV(v float64, labels ...Label) Sample { return Sample{Labels: labels, Value: v} }
+
+// Histogram is the rendered form of a histogram family: per-bucket (not
+// cumulative) counts over ascending finite upper bounds, plus the exact sum
+// and total count. Counts must have len(UpperBounds)+1 entries — the last
+// is the unbounded (+Inf) tail bucket. The encoder accumulates the counts
+// into the cumulative le-bounded series the format requires.
+type Histogram struct {
+	UpperBounds []float64
+	Counts      []int64
+	Sum         float64
+}
+
+// Encoder renders metric families to w in call order. Errors are sticky:
+// the first I/O or validation error stops all further output and is
+// reported by Err.
+type Encoder struct {
+	w    io.Writer
+	err  error
+	seen map[string]bool
+}
+
+// NewEncoder returns an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: w, seen: map[string]bool{}}
+}
+
+// Err returns the first error the encoder hit (nil when all output was
+// valid and written).
+func (e *Encoder) Err() error { return e.err }
+
+// Counter emits a counter family. Counter values must be non-negative,
+// and by convention the name should end in "_total".
+func (e *Encoder) Counter(name, help string, samples ...Sample) {
+	e.family(name, help, "counter", samples, true)
+}
+
+// Gauge emits a gauge family.
+func (e *Encoder) Gauge(name, help string, samples ...Sample) {
+	e.family(name, help, "gauge", samples, false)
+}
+
+// Histogram emits a histogram family: cumulative `name_bucket{le="..."}`
+// series (always ending in le="+Inf"), then name_sum and name_count.
+func (e *Encoder) Histogram(name, help string, h Histogram, labels ...Label) {
+	if e.err != nil {
+		return
+	}
+	if err := e.header(name, help, "histogram"); err != nil {
+		e.fail(err)
+		return
+	}
+	if len(h.Counts) != len(h.UpperBounds)+1 {
+		e.fail(fmt.Errorf("metrics: histogram %s: %d counts for %d bounds (want bounds+1)",
+			name, len(h.Counts), len(h.UpperBounds)))
+		return
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		if c < 0 {
+			e.fail(fmt.Errorf("metrics: histogram %s: negative bucket count %d", name, c))
+			return
+		}
+		cum += c
+		le := "+Inf"
+		if i < len(h.UpperBounds) {
+			if i > 0 && h.UpperBounds[i] <= h.UpperBounds[i-1] {
+				e.fail(fmt.Errorf("metrics: histogram %s: bounds not ascending at %v", name, h.UpperBounds[i]))
+				return
+			}
+			le = formatValue(h.UpperBounds[i])
+		}
+		bl := append(append(make([]Label, 0, len(labels)+1), labels...), L("le", le))
+		if err := e.sample(name+"_bucket", bl, float64(cum)); err != nil {
+			e.fail(err)
+			return
+		}
+	}
+	if err := e.sample(name+"_sum", labels, h.Sum); err != nil {
+		e.fail(err)
+		return
+	}
+	if err := e.sample(name+"_count", labels, float64(cum)); err != nil {
+		e.fail(err)
+	}
+}
+
+func (e *Encoder) family(name, help, typ string, samples []Sample, counter bool) {
+	if e.err != nil {
+		return
+	}
+	if err := e.header(name, help, typ); err != nil {
+		e.fail(err)
+		return
+	}
+	for _, s := range samples {
+		if counter && (s.Value < 0 || math.IsNaN(s.Value)) {
+			e.fail(fmt.Errorf("metrics: counter %s: invalid value %v", name, s.Value))
+			return
+		}
+		if err := e.sample(name, s.Labels, s.Value); err != nil {
+			e.fail(err)
+			return
+		}
+	}
+}
+
+func (e *Encoder) header(name, help, typ string) error {
+	if !validName(name) {
+		return fmt.Errorf("metrics: invalid metric name %q", name)
+	}
+	if e.seen[name] {
+		return fmt.Errorf("metrics: duplicate metric family %q", name)
+	}
+	e.seen[name] = true
+	if help != "" {
+		if _, err := fmt.Fprintf(e.w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(e.w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+func (e *Encoder) sample(name string, labels []Label, v float64) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if !validName(l.Name) {
+				return fmt.Errorf("metrics: invalid label name %q on %s", l.Name, name)
+			}
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(v))
+	sb.WriteByte('\n')
+	_, err := io.WriteString(e.w, sb.String())
+	return err
+}
+
+func (e *Encoder) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// validName reports whether s matches the metric/label name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* (colons are reserved for recording rules but
+// legal in the format; label names additionally must not start with __,
+// which we don't enforce — the encoder never generates them).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, with Inf spelled "+Inf"/"-Inf".
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGaugeRendering(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Counter("dp_jobs_total", "Jobs completed.", V(42))
+	e.Gauge("dp_inflight", "Queued or running.", V(3))
+	e.Counter("dp_stage_seconds_total", "Per-stage wall time.",
+		LV(1.5, L("stage", "profile")), LV(0.25, L("stage", "rank")))
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dp_jobs_total Jobs completed.
+# TYPE dp_jobs_total counter
+dp_jobs_total 42
+# HELP dp_inflight Queued or running.
+# TYPE dp_inflight gauge
+dp_inflight 3
+# HELP dp_stage_seconds_total Per-stage wall time.
+# TYPE dp_stage_seconds_total counter
+dp_stage_seconds_total{stage="profile"} 1.5
+dp_stage_seconds_total{stage="rank"} 0.25
+`
+	if buf.String() != want {
+		t.Errorf("rendered:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestHistogramRenderingIsCumulative(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Histogram("lat_seconds", "Latency.", Histogram{
+		UpperBounds: []float64{0.001, 0.01, 0.1},
+		Counts:      []int64{2, 0, 5, 1}, // per-bucket, tail last
+		Sum:         0.75,
+	})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.001"} 2
+lat_seconds_bucket{le="0.01"} 2
+lat_seconds_bucket{le="0.1"} 7
+lat_seconds_bucket{le="+Inf"} 8
+lat_seconds_sum 0.75
+lat_seconds_count 8
+`
+	if buf.String() != want {
+		t.Errorf("rendered:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestEncoderRejectsBadInput(t *testing.T) {
+	check := func(name string, f func(e *Encoder)) {
+		t.Helper()
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		f(e)
+		if e.Err() == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	check("bad metric name", func(e *Encoder) { e.Counter("1bad", "", V(1)) })
+	check("empty name", func(e *Encoder) { e.Gauge("", "", V(1)) })
+	check("duplicate family", func(e *Encoder) {
+		e.Counter("a_total", "", V(1))
+		e.Counter("a_total", "", V(2))
+	})
+	check("negative counter", func(e *Encoder) { e.Counter("a_total", "", V(-1)) })
+	check("NaN counter", func(e *Encoder) { e.Counter("a_total", "", V(math.NaN())) })
+	check("bad label name", func(e *Encoder) { e.Gauge("g", "", LV(1, L("0x", "v"))) })
+	check("histogram count/bound mismatch", func(e *Encoder) {
+		e.Histogram("h", "", Histogram{UpperBounds: []float64{1}, Counts: []int64{1}})
+	})
+	check("histogram negative bucket", func(e *Encoder) {
+		e.Histogram("h", "", Histogram{UpperBounds: []float64{1}, Counts: []int64{-1, 0}})
+	})
+	check("histogram unsorted bounds", func(e *Encoder) {
+		e.Histogram("h", "", Histogram{UpperBounds: []float64{1, 1}, Counts: []int64{0, 0, 0}})
+	})
+}
+
+func TestErrorIsStickyAndStopsOutput(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Counter("bad name!", "", V(1))
+	before := buf.Len()
+	e.Gauge("fine", "", V(1))
+	if buf.Len() != before {
+		t.Error("output continued after error")
+	}
+	if e.Err() == nil || !strings.Contains(e.Err().Error(), "bad name!") {
+		t.Errorf("sticky error lost: %v", e.Err())
+	}
+}
+
+func TestLabelEscapingRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	tricky := "quote\" backslash\\ newline\n end"
+	e.Gauge("g", "help with \\ and\nnewline", LV(1, L("k", tricky)))
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse back: %v", err)
+	}
+	v, ok := s.Value("g", L("k", tricky))
+	if !ok || v != 1 {
+		t.Errorf("escaped label did not round-trip: %+v", s.Points)
+	}
+}
+
+func TestParseValidatesFormat(t *testing.T) {
+	good := `# HELP a_total help
+# TYPE a_total counter
+a_total 5
+a_total{x="1",y="2"} 6.5
+h_bucket{le="+Inf"} 3 1700000000
+`
+	s, err := Parse(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 3 || s.Types["a_total"] != "counter" {
+		t.Fatalf("parsed %+v", s)
+	}
+	if v, ok := s.Value("a_total", L("y", "2"), L("x", "1")); !ok || v != 6.5 {
+		t.Errorf("label-order-insensitive lookup failed: %v %v", v, ok)
+	}
+	if v, ok := s.Value("h_bucket", L("le", "+Inf")); !ok || v != 3 {
+		t.Errorf("timestamped sample: %v %v", v, ok)
+	}
+
+	for _, bad := range []string{
+		"no_value\n",
+		"1leading_digit 4\n",
+		`unterminated{x="y 4` + "\n",
+		`badescape{x="\q"} 4` + "\n",
+		"name{x=unquoted} 4\n",
+		"name notanumber\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse accepted %q", bad)
+		}
+	}
+}
+
+func TestValueFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Gauge("g", "", LV(math.Inf(1), L("k", "inf")), LV(0.000001, L("k", "small")))
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "+Inf") {
+		t.Errorf("no +Inf in %q", out)
+	}
+	s, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Value("g", L("k", "inf")); !math.IsInf(v, 1) {
+		t.Errorf("inf did not round-trip: %v", v)
+	}
+	if v, _ := s.Value("g", L("k", "small")); v != 0.000001 {
+		t.Errorf("small value did not round-trip: %v", v)
+	}
+}

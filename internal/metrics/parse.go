@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one parsed sample line.
+type Point struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Scrape is a parsed text exposition: every sample line plus the declared
+// family types. It exists for tests and smoke checks — a serving path never
+// needs to parse its own output.
+type Scrape struct {
+	Points []Point
+	// Types maps family name to its declared TYPE (counter, gauge,
+	// histogram, ...).
+	Types map[string]string
+}
+
+// Value returns the value of the sample with exactly the given name and
+// labels. The second result reports whether such a sample exists.
+func (s *Scrape) Value(name string, labels ...Label) (float64, bool) {
+	want := labelKey(labels)
+	for _, p := range s.Points {
+		if p.Name != name {
+			continue
+		}
+		var pl []Label
+		for k, v := range p.Labels {
+			pl = append(pl, Label{k, v})
+		}
+		if labelKey(pl) == want {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+func labelKey(labels []Label) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Parse reads a Prometheus text exposition. It is strict about the subset
+// the Encoder emits — malformed sample lines, bad label syntax, or
+// unparsable values are errors, so a test scraping /metrics genuinely
+// validates the format.
+func Parse(r io.Reader) (*Scrape, error) {
+	s := &Scrape{Types: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				s.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		p, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		s.Points = append(s.Points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseSample(line string) (Point, error) {
+	p := Point{Labels: map[string]string{}}
+	rest := line
+	// Metric name runs up to '{', space, or tab.
+	end := strings.IndexAny(rest, "{ \t")
+	if end <= 0 {
+		return p, fmt.Errorf("malformed sample %q", line)
+	}
+	p.Name = rest[:end]
+	if !validName(p.Name) {
+		return p, fmt.Errorf("invalid metric name %q", p.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest[1:], p.Labels)
+		if err != nil {
+			return p, fmt.Errorf("%w in %q", err, line)
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may trail the value; the encoder never writes one, but
+	// accept it per the format.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return p, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	p.Value = v
+	return p, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns what follows the
+// closing brace.
+func parseLabels(rest string, out map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq <= 0 {
+			return "", fmt.Errorf("malformed label pair")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validName(name) {
+			return "", fmt.Errorf("invalid label name %q", name)
+		}
+		rest = strings.TrimLeft(rest[eq+1:], " \t")
+		if !strings.HasPrefix(rest, `"`) {
+			return "", fmt.Errorf("unquoted label value for %q", name)
+		}
+		val, remaining, err := parseQuoted(rest[1:])
+		if err != nil {
+			return "", err
+		}
+		out[name] = val
+		rest = strings.TrimLeft(remaining, " \t")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if !strings.HasPrefix(rest, "}") {
+			return "", fmt.Errorf("missing , or } after label %q", name)
+		}
+	}
+}
+
+// parseQuoted consumes an escaped label value up to its closing quote.
+func parseQuoted(s string) (val, rest string, err error) {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return sb.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in label value")
+			}
+			switch s[i] {
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c in label value", s[i])
+			}
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

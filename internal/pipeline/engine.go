@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"discopop/internal/ir"
+	"discopop/internal/mem"
 	"discopop/internal/profiler"
 )
 
@@ -44,10 +46,15 @@ type JobResult struct {
 }
 
 // FleetStats aggregates observability counters across all completed jobs
-// of an engine.
+// of an engine. Engine.Stats assembles a snapshot at any time — including
+// while jobs are in flight — so a long-lived server can scrape it
+// concurrently with running workers.
 type FleetStats struct {
-	Jobs   int // jobs completed (successfully or not)
-	Failed int
+	// Submitted is the number of jobs accepted by Submit so far; Submitted
+	// − Jobs is the engine's current in-flight depth (queued or running).
+	Submitted int
+	Jobs      int // jobs completed (successfully or not)
+	Failed    int
 	// Instrs is the total number of executed IR statements.
 	Instrs int64
 	// Deps is the total number of distinct merged dependences.
@@ -74,6 +81,9 @@ type FleetStats struct {
 	// QueueLat is the distribution of per-job queue latency (Submit to
 	// worker pickup): exact min/max/mean plus a fixed-bucket histogram.
 	QueueLat LatencyHist
+	// Pool is a snapshot of the shared arena pool's lifetime counters
+	// (mem.Default — the pool every instrumented execution draws from).
+	Pool mem.PoolStats
 }
 
 // Engine fans analysis jobs across a bounded worker pool and streams
@@ -106,6 +116,11 @@ type Engine struct {
 	subMu  sync.Mutex
 	next   int // submission index
 	closed bool
+	// submitted mirrors next for lock-free reads: Stats must not block on
+	// subMu, which Submit holds across its (backpressure-blocking) channel
+	// send — a /metrics scrape would otherwise stall whenever the engine
+	// is saturated.
+	submitted atomic.Int64
 
 	mu    sync.Mutex // guards stats and caches
 	stats FleetStats
@@ -177,6 +192,7 @@ func (e *Engine) Submit(j Job) {
 	j.index = e.next
 	j.submitted = time.Now()
 	e.next++
+	e.submitted.Store(int64(e.next))
 	e.jobs <- j
 }
 
@@ -201,6 +217,11 @@ func (e *Engine) Close() {
 }
 
 // Stats returns a snapshot of the fleet-level counters accumulated so far.
+// It is safe to call concurrently with Submit, running workers, and other
+// Stats calls: every field is assembled under the stats lock (or read from
+// its own synchronized source), and the returned value shares no mutable
+// state with the engine, so a long-lived server can scrape it while jobs
+// are in flight.
 func (e *Engine) Stats() FleetStats {
 	e.mu.Lock()
 	s := e.stats
@@ -212,9 +233,11 @@ func (e *Engine) Stats() FleetStats {
 		s.CacheEvictions += c.Evictions() - base
 	}
 	e.mu.Unlock()
+	s.Submitted = int(e.submitted.Load())
 	if e.fleetDeps != nil {
 		s.DistinctDeps = e.fleetDeps.Distinct()
 	}
+	s.Pool = mem.Default.Stats()
 	return s
 }
 

@@ -188,6 +188,62 @@ func TestEngineStreamsAndAggregates(t *testing.T) {
 			t.Errorf("no aggregated time for stage %s", stage)
 		}
 	}
+	if stats.Submitted != len(jobs) {
+		t.Errorf("stats submitted=%d, want %d", stats.Submitted, len(jobs))
+	}
+	if stats.Pool.Gets == 0 || stats.Pool.Puts == 0 {
+		t.Errorf("arena pool counters not surfaced: %+v", stats.Pool)
+	}
+	if stats.Pool.Fresh > stats.Pool.Gets {
+		t.Errorf("pool Fresh %d exceeds Gets %d", stats.Pool.Fresh, stats.Pool.Gets)
+	}
+}
+
+// TestStatsConcurrentWithWorkers scrapes Engine.Stats in a tight loop while
+// jobs are in flight — the long-lived-server pattern, guarded under -race.
+func TestStatsConcurrentWithWorkers(t *testing.T) {
+	jobs := nasJobs(t, 1)
+	e := NewEngine(Options{BatchWorkers: 3, CollectFleetDeps: true})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // scraper
+		defer wg.Done()
+		last := FleetStats{}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := e.Stats()
+			if s.Jobs < last.Jobs || s.Submitted < last.Submitted {
+				t.Errorf("stats went backwards: %+v after %+v", s, last)
+				return
+			}
+			if s.Jobs > s.Submitted {
+				t.Errorf("completed %d > submitted %d", s.Jobs, s.Submitted)
+				return
+			}
+			last = s
+		}
+	}()
+	go func() {
+		for _, j := range jobs {
+			e.Submit(j)
+		}
+		e.Close()
+	}()
+	for jr := range e.Results() {
+		if jr.Err != nil {
+			t.Errorf("%s: %v", jr.Name, jr.Err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s := e.Stats(); s.Submitted != len(jobs) || s.Jobs != len(jobs) {
+		t.Errorf("final stats submitted=%d jobs=%d, want %d", s.Submitted, s.Jobs, len(jobs))
+	}
 }
 
 // TestEngineMTJobsConcurrently runs multi-threaded-target profiling jobs

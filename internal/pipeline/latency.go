@@ -77,6 +77,16 @@ func (h *LatencyHist) bucketRange(i int) (lo, hi time.Duration) {
 	return lo, hi
 }
 
+// BucketBounds returns the histogram's finite upper bounds in ascending
+// order (the final bucket, Buckets[len(BucketBounds())], is unbounded). The
+// returned slice is a copy; exporters (e.g. a Prometheus text encoding)
+// pair it with Buckets to render cumulative le-bounded buckets.
+func (h *LatencyHist) BucketBounds() []time.Duration {
+	out := make([]time.Duration, len(latBounds))
+	copy(out[:], latBounds[:])
+	return out
+}
+
 // Mean returns the average observed latency.
 func (h *LatencyHist) Mean() time.Duration {
 	if h.Count == 0 {

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+
+	"discopop/internal/ir"
+)
+
+// InlineSpec describes a synthetic module submitted over the API without
+// naming a bundled workload: a sequence of kernels chosen from canonical
+// dependence patterns, sized by iteration count. The service assembles a
+// real IR module from the spec and runs it through the full pipeline, so
+// clients can probe how the analyzer classifies shapes that are not in the
+// registry.
+type InlineSpec struct {
+	// Name labels the module (default "inline").
+	Name string `json:"name,omitempty"`
+	// Kernels runs in order inside one main function, each on its own
+	// arrays.
+	Kernels []KernelSpec `json:"kernels"`
+}
+
+// KernelSpec is one loop nest. Patterns:
+//
+//	doall       independent iterations (a[i] = f(i)); expect DOALL
+//	reduction   sum over an array; expect DOALL with a reduction clause
+//	recurrence  a[i] = a[i-1] + 1; loop-carried RAW, inherently sequential
+//	histogram   indirect binning writes (hist[bin(x)] += 1)
+//	stencil     3-point average into a separate output array; expect DOALL
+type KernelSpec struct {
+	Pattern string `json:"pattern"`
+	// N is the iteration count (default 256, clamped to [4, 65536]).
+	N int `json:"n,omitempty"`
+}
+
+// Inline sizing bounds: enough to exercise every pattern, small enough
+// that one request cannot monopolize a worker.
+const (
+	inlineDefaultN = 256
+	inlineMinN     = 4
+	inlineMaxN     = 65536
+	inlineMaxKerns = 16
+)
+
+// buildInline assembles the module described by spec. Invalid specs
+// (unknown pattern, no kernels) return an error for a 400 response.
+func buildInline(spec *InlineSpec) (*ir.Module, string, error) {
+	name := spec.Name
+	if name == "" {
+		name = "inline"
+	}
+	if len(spec.Kernels) == 0 {
+		return nil, "", fmt.Errorf("inline module needs at least one kernel")
+	}
+	if len(spec.Kernels) > inlineMaxKerns {
+		return nil, "", fmt.Errorf("inline module has %d kernels (max %d)",
+			len(spec.Kernels), inlineMaxKerns)
+	}
+	b := ir.NewBuilder(name)
+	type build func(fb *ir.FuncBuilder)
+	var kernels []build
+	for ki, k := range spec.Kernels {
+		n := k.N
+		if n == 0 {
+			n = inlineDefaultN
+		}
+		if n < inlineMinN || n > inlineMaxN {
+			return nil, "", fmt.Errorf("kernel %d: n=%d out of range [%d, %d]",
+				ki, n, inlineMinN, inlineMaxN)
+		}
+		nn := int64(n)
+		// Globals must be declared before the function body references
+		// them; each kernel works on its own arrays.
+		pfx := fmt.Sprintf("k%d_", ki)
+		switch k.Pattern {
+		case "doall":
+			a := b.GlobalArray(pfx+"a", ir.F64, n)
+			kernels = append(kernels, func(fb *ir.FuncBuilder) {
+				fb.For(pfx+"i", ir.CI(0), ir.CI(nn), ir.CI(1), func(i *ir.Var) {
+					fb.SetAt(a, ir.V(i), ir.Mul(ir.CF(1.5), ir.V(i)))
+				})
+			})
+		case "reduction":
+			a := b.GlobalArray(pfx+"a", ir.F64, n)
+			acc := b.Global(pfx+"sum", ir.F64)
+			kernels = append(kernels, func(fb *ir.FuncBuilder) {
+				fb.For(pfx+"init", ir.CI(0), ir.CI(nn), ir.CI(1), func(i *ir.Var) {
+					fb.SetAt(a, ir.V(i), ir.Rnd())
+				})
+				fb.Set(acc, ir.CF(0))
+				fb.For(pfx+"i", ir.CI(0), ir.CI(nn), ir.CI(1), func(i *ir.Var) {
+					fb.Set(acc, ir.Add(ir.V(acc), ir.At(a, ir.V(i))))
+				})
+			})
+		case "recurrence":
+			a := b.GlobalArray(pfx+"a", ir.F64, n)
+			kernels = append(kernels, func(fb *ir.FuncBuilder) {
+				fb.SetAt(a, ir.CI(0), ir.CF(1))
+				fb.For(pfx+"i", ir.CI(1), ir.CI(nn), ir.CI(1), func(i *ir.Var) {
+					fb.SetAt(a, ir.V(i),
+						ir.Add(ir.At(a, ir.Sub(ir.V(i), ir.CI(1))), ir.CF(1)))
+				})
+			})
+		case "histogram":
+			bins := 32
+			data := b.GlobalArray(pfx+"data", ir.F64, n)
+			hist := b.GlobalArray(pfx+"hist", ir.F64, bins)
+			kernels = append(kernels, func(fb *ir.FuncBuilder) {
+				bin := fb.Local(pfx+"bin", ir.I64)
+				fb.For(pfx+"init", ir.CI(0), ir.CI(nn), ir.CI(1), func(i *ir.Var) {
+					fb.SetAt(data, ir.V(i), ir.Rnd())
+				})
+				fb.For(pfx+"z", ir.CI(0), ir.CI(int64(bins)), ir.CI(1), func(i *ir.Var) {
+					fb.SetAt(hist, ir.V(i), ir.CF(0))
+				})
+				fb.For(pfx+"i", ir.CI(0), ir.CI(nn), ir.CI(1), func(i *ir.Var) {
+					fb.Set(bin, ir.Floor(ir.Mul(ir.At(data, ir.V(i)), ir.CI(int64(bins)))))
+					fb.SetAt(hist, ir.V(bin), ir.Add(ir.At(hist, ir.V(bin)), ir.CF(1)))
+				})
+			})
+		case "stencil":
+			in := b.GlobalArray(pfx+"in", ir.F64, n)
+			out := b.GlobalArray(pfx+"out", ir.F64, n)
+			kernels = append(kernels, func(fb *ir.FuncBuilder) {
+				fb.For(pfx+"init", ir.CI(0), ir.CI(nn), ir.CI(1), func(i *ir.Var) {
+					fb.SetAt(in, ir.V(i), ir.Rnd())
+				})
+				fb.For(pfx+"i", ir.CI(1), ir.CI(nn-1), ir.CI(1), func(i *ir.Var) {
+					fb.SetAt(out, ir.V(i), ir.Div(
+						ir.Add(ir.At(in, ir.Sub(ir.V(i), ir.CI(1))),
+							ir.Add(ir.At(in, ir.V(i)),
+								ir.At(in, ir.Add(ir.V(i), ir.CI(1))))),
+						ir.CF(3)))
+				})
+			})
+		default:
+			return nil, "", fmt.Errorf("kernel %d: unknown pattern %q (want doall, reduction, recurrence, histogram, or stencil)", ki, k.Pattern)
+		}
+	}
+	fb := b.Func("main")
+	for _, k := range kernels {
+		k(fb)
+	}
+	return b.Build(fb.Done()), name, nil
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"discopop/internal/pipeline"
+)
+
+// Job lifecycle states. There is no "running" state: the engine reports
+// only completion, so a job is queued (accepted, possibly executing) until
+// its result lands.
+const (
+	jobQueued = "queued"
+	jobDone   = "done"
+	jobFailed = "failed"
+)
+
+// jobRecord tracks one submission through the service. Mutable fields are
+// guarded by the owning jobStore's lock; doneCh closes exactly once when
+// the result is recorded.
+type jobRecord struct {
+	ID        string
+	Workload  string
+	Scale     int
+	State     string
+	Submitted time.Time
+	Finished  time.Time
+	Error     string
+	Result    *jobResult
+
+	doneCh chan struct{}
+}
+
+// jobView is the JSON shape of one record (a snapshot — never the live
+// record, which workers keep mutating).
+type jobView struct {
+	ID        string     `json:"id"`
+	Workload  string     `json:"workload"`
+	Scale     int        `json:"scale,omitempty"`
+	State     string     `json:"state"`
+	Submitted time.Time  `json:"submitted"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    *jobResult `json:"result,omitempty"`
+}
+
+// jobResult is the client-facing summary of a completed analysis.
+type jobResult struct {
+	Instrs      int64            `json:"instrs"`
+	Deps        int              `json:"deps"`
+	CUs         int              `json:"cus"`
+	CacheHit    bool             `json:"cache_hit"`
+	ElapsedMS   float64          `json:"elapsed_ms"`
+	QueueMS     float64          `json:"queue_ms"`
+	Suggestions []suggestionView `json:"suggestions"`
+}
+
+// suggestionView is one ranked parallelization opportunity.
+type suggestionView struct {
+	Rank      int     `json:"rank"`
+	Kind      string  `json:"kind"`
+	Loc       string  `json:"loc"`
+	Coverage  float64 `json:"coverage"`
+	Speedup   float64 `json:"speedup"`
+	Imbalance float64 `json:"imbalance"`
+	Score     float64 `json:"score"`
+	Notes     string  `json:"notes,omitempty"`
+}
+
+// maxSuggestions caps the per-job result payload; the full ranking is
+// available to embedders through the pipeline API, not over HTTP.
+const maxSuggestions = 100
+
+// jobStore is the bounded, concurrency-safe record index. Completed
+// records beyond the cap are evicted oldest-first; queued records are
+// never evicted (their results are still owed to the collector).
+type jobStore struct {
+	mu     sync.Mutex
+	max    int
+	m      map[string]*jobRecord
+	order  []string // insertion order, for eviction
+	nextid int64
+}
+
+func (js *jobStore) init(max int) {
+	js.max = max
+	js.m = map[string]*jobRecord{}
+}
+
+func (js *jobStore) nextID() string {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.nextid++
+	return fmt.Sprintf("j%06d", js.nextid)
+}
+
+func (js *jobStore) add(rec *jobRecord) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.m[rec.ID] = rec
+	js.order = append(js.order, rec.ID)
+	// Evict the oldest finished records beyond the cap.
+	for len(js.m) > js.max {
+		evicted := false
+		for i, id := range js.order {
+			old, live := js.m[id]
+			if live && old.State == jobQueued {
+				continue
+			}
+			if live {
+				delete(js.m, id)
+			}
+			js.order = append(js.order[:i], js.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break // everything left is queued; transiently over cap
+		}
+	}
+}
+
+// drop removes a record that never made it into the engine (queue full).
+func (js *jobStore) drop(id string) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	delete(js.m, id)
+	for i, oid := range js.order {
+		if oid == id {
+			js.order = append(js.order[:i], js.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (js *jobStore) get(id string) (*jobRecord, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	rec, ok := js.m[id]
+	return rec, ok
+}
+
+// finish folds one engine result into its record. A record evicted or
+// dropped in the meantime is ignored.
+func (js *jobStore) finish(r *pipeline.JobResult) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	rec, ok := js.m[r.Name]
+	if !ok {
+		return
+	}
+	rec.Finished = time.Now()
+	if r.Err != nil {
+		rec.State = jobFailed
+		rec.Error = r.Err.Error()
+	} else {
+		rec.State = jobDone
+		rec.Result = summarize(r)
+	}
+	close(rec.doneCh)
+}
+
+func summarize(r *pipeline.JobResult) *jobResult {
+	rep := r.Report
+	out := &jobResult{
+		Instrs:    rep.Instrs,
+		Deps:      len(rep.Profile.Deps),
+		CUs:       len(rep.CUs.CUs),
+		CacheHit:  rep.CacheHit,
+		ElapsedMS: float64(r.Elapsed) / float64(time.Millisecond),
+		QueueMS:   float64(r.QueueLat) / float64(time.Millisecond),
+	}
+	for _, s := range rep.Ranked {
+		if s.Score <= 0 || len(out.Suggestions) >= maxSuggestions {
+			break // Ranked is best-first; the tail is all zero-score
+		}
+		out.Suggestions = append(out.Suggestions, suggestionView{
+			Rank:      len(out.Suggestions) + 1,
+			Kind:      s.Kind.String(),
+			Loc:       s.Loc.String(),
+			Coverage:  s.Coverage,
+			Speedup:   s.LocalSpeedup,
+			Imbalance: s.Imbalance,
+			Score:     s.Score,
+			Notes:     s.Notes,
+		})
+	}
+	return out
+}
+
+// snapshot copies a record under the lock into its JSON view.
+func (js *jobStore) snapshot(rec *jobRecord) jobView {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	v := jobView{
+		ID: rec.ID, Workload: rec.Workload, Scale: rec.Scale,
+		State: rec.State, Submitted: rec.Submitted,
+		Error: rec.Error, Result: rec.Result,
+	}
+	if !rec.Finished.IsZero() {
+		f := rec.Finished
+		v.Finished = &f
+	}
+	return v
+}
+
+// list returns views of every live record, oldest first.
+func (js *jobStore) list() []jobView {
+	js.mu.Lock()
+	recs := make([]*jobRecord, 0, len(js.order))
+	for _, id := range js.order {
+		if rec, ok := js.m[id]; ok {
+			recs = append(recs, rec)
+		}
+	}
+	js.mu.Unlock()
+	out := make([]jobView, len(recs))
+	for i, rec := range recs {
+		out[i] = js.snapshot(rec)
+	}
+	return out
+}

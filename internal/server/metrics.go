@@ -1,0 +1,125 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"discopop/internal/metrics"
+	"discopop/internal/pipeline"
+)
+
+// handleMetrics renders the Prometheus text exposition from fresh
+// snapshots: the engine's fleet counters (safe to take while jobs are in
+// flight), the profile cache's counters, and the shared arena pool's
+// checkout counters. Nothing here keeps metric state of its own — a
+// scrape is a pure read of the subsystems' accumulators.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	hits, misses := s.cache.Stats()
+
+	w.Header().Set("Content-Type", metrics.ContentType)
+	e := metrics.NewEncoder(w)
+
+	// Job flow. Accepted leads Submitted by the jobs still sitting in the
+	// service's pending queue; inflight covers both, so accepted-but-not-
+	// yet-engine-submitted work is never invisible to a scrape.
+	e.Counter("dp_jobs_accepted_total", "Submissions acknowledged with 202.",
+		metrics.V(float64(s.accepted.Load())))
+	e.Counter("dp_jobs_submitted_total", "Jobs handed to the engine.",
+		metrics.V(float64(st.Submitted)))
+	e.Counter("dp_jobs_completed_total", "Jobs completed (including failures).",
+		metrics.V(float64(st.Jobs)))
+	e.Counter("dp_jobs_failed_total", "Jobs that finished with an error.",
+		metrics.V(float64(st.Failed)))
+	e.Gauge("dp_jobs_pending", "Accepted jobs not yet handed to the engine.",
+		metrics.V(float64(len(s.pending))))
+	e.Gauge("dp_jobs_inflight", "Jobs accepted but not yet completed.",
+		metrics.V(float64(s.accepted.Load())-float64(st.Jobs)))
+	e.Histogram("dp_queue_latency_seconds",
+		"Per-job latency from Submit to worker pickup.", latencyHistogram(st.QueueLat))
+
+	// Analysis volume.
+	e.Counter("dp_instrs_total", "IR statements executed under instrumentation.",
+		metrics.V(float64(st.Instrs)))
+	e.Counter("dp_deps_total", "Distinct dependences summed over completed jobs.",
+		metrics.V(float64(st.Deps)))
+	e.Counter("dp_accesses_total", "Profiled memory accesses.",
+		metrics.V(float64(st.Accesses)))
+	e.Counter("dp_store_bytes_total", "Summed access-status store footprint.",
+		metrics.V(float64(st.StoreBytes)))
+	e.Counter("dp_busy_seconds_total", "Summed per-job wall time across workers.",
+		metrics.V(st.Busy.Seconds()))
+	e.Gauge("dp_fleet_distinct_deps",
+		"Distinct dependences in the fleet-level accumulator.",
+		metrics.V(float64(st.DistinctDeps)))
+	stages := make([]string, 0, len(st.StageTime))
+	for name := range st.StageTime {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+	samples := make([]metrics.Sample, len(stages))
+	for i, name := range stages {
+		samples[i] = metrics.LV(st.StageTime[name].Seconds(), metrics.L("stage", name))
+	}
+	e.Counter("dp_stage_seconds_total", "Summed wall time per pipeline stage.", samples...)
+
+	// Profile cache.
+	e.Counter("dp_profile_cache_hits_total", "Profile-stage cache hits.",
+		metrics.V(float64(hits)))
+	e.Counter("dp_profile_cache_misses_total", "Profile-stage cache misses.",
+		metrics.V(float64(misses)))
+	e.Counter("dp_profile_cache_evictions_total", "Entries dropped by the LRU bound.",
+		metrics.V(float64(s.cache.Evictions())))
+	e.Gauge("dp_profile_cache_entries", "Live profile-cache entries.",
+		metrics.V(float64(s.cache.Len())))
+
+	// Arena pool (process-wide).
+	e.Counter("dp_pool_gets_total", "Arena spaces checked out of the shared pool.",
+		metrics.V(float64(st.Pool.Gets)))
+	e.Counter("dp_pool_puts_total", "Arena spaces returned to the shared pool.",
+		metrics.V(float64(st.Pool.Puts)))
+	e.Counter("dp_pool_fresh_total",
+		"Pool checkouts that allocated a fresh arena (recycle misses).",
+		metrics.V(float64(st.Pool.Fresh)))
+
+	// Service.
+	e.Gauge("dp_uptime_seconds", "Seconds since the service started.",
+		metrics.V(time.Since(s.start).Seconds()))
+	var reqSamples []metrics.Sample
+	var labels []string
+	s.httpReqs.Range(func(k, _ any) bool {
+		labels = append(labels, k.(string))
+		return true
+	})
+	sort.Strings(labels)
+	for _, label := range labels {
+		c, _ := s.httpReqs.Load(label)
+		reqSamples = append(reqSamples,
+			metrics.LV(float64(c.(*atomic.Int64).Load()), metrics.L("endpoint", label)))
+	}
+	e.Counter("dp_http_requests_total", "HTTP requests by endpoint.", reqSamples...)
+
+	if err := e.Err(); err != nil {
+		// Headers are long gone; all we can do is log the malformed scrape.
+		log.Printf("metrics: %v", err)
+	}
+}
+
+// latencyHistogram converts the engine's fixed-bucket LatencyHist into the
+// encoder's per-bucket form, bounds in seconds.
+func latencyHistogram(h pipeline.LatencyHist) metrics.Histogram {
+	bounds := h.BucketBounds()
+	out := metrics.Histogram{
+		UpperBounds: make([]float64, len(bounds)),
+		Counts:      make([]int64, len(h.Buckets)),
+		Sum:         h.Sum.Seconds(),
+	}
+	for i, b := range bounds {
+		out.UpperBounds[i] = b.Seconds()
+	}
+	copy(out.Counts, h.Buckets[:])
+	return out
+}

@@ -1,0 +1,383 @@
+// Package server wraps a persistent analysis engine behind an HTTP API,
+// turning the one-shot CLI pipeline into a long-lived service: clients
+// submit workloads (bundled, at any scale, or inline synthetic modules),
+// poll asynchronous job results, enumerate the workload registry, and
+// scrape Prometheus metrics while jobs are in flight.
+//
+// The service owns one pipeline.Engine (bounded worker pool), one
+// pipeline.ProfileCache (repeat submissions of the same workload@scale
+// skip re-profiling), and shares the process-wide arena pool — so every
+// observability counter the batch engine accumulates (fleet stats, cache
+// hits and evictions, queue-latency histogram, pool checkout counters) is
+// reachable on /metrics at any time instead of only after a batch
+// completes.
+//
+// API surface:
+//
+//	POST /v1/analyze      submit a job; 202 with an id (async)
+//	GET  /v1/jobs/{id}    job status and, when finished, the result
+//	GET  /v1/jobs         recent job records
+//	GET  /v1/workloads    the bundled workload registry
+//	GET  /metrics         Prometheus text exposition
+//	GET  /healthz         liveness ("ok", or 503 while draining)
+//
+// Shutdown is a drain: Drain stops new submissions (503), lets queued and
+// running jobs finish, and returns when the last result is recorded.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"discopop/internal/pipeline"
+	"discopop/internal/workloads"
+)
+
+// Config sizes the service. The zero value is serviceable: one engine
+// worker per CPU, the default profile-cache bound, a 64-deep submission
+// queue, 16-thread ranking, and 1024 retained job records.
+type Config struct {
+	// Workers bounds the engine's worker pool (0 = one per CPU).
+	Workers int
+	// CacheEntries caps the profile cache (0 = DefaultCacheEntries,
+	// negative = unbounded).
+	CacheEntries int
+	// QueueDepth is how many accepted-but-not-yet-running submissions the
+	// service holds before rejecting with 503 (0 = 64).
+	QueueDepth int
+	// Threads is the default thread count for local-speedup ranking
+	// (0 = 16); per-request "threads" overrides it.
+	Threads int
+	// MaxRecords bounds the finished-job records retained for GET
+	// /v1/jobs/{id} (0 = 1024). Oldest finished records are evicted first.
+	MaxRecords int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = pipeline.DefaultCacheEntries
+	} else if c.CacheEntries < 0 {
+		c.CacheEntries = 0 // unbounded, in ProfileCache terms
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Threads <= 0 {
+		c.Threads = 16
+	}
+	if c.MaxRecords <= 0 {
+		c.MaxRecords = 1024
+	}
+	return c
+}
+
+// Server is the long-lived analysis service. It implements http.Handler.
+type Server struct {
+	cfg   Config
+	eng   *pipeline.Engine
+	cache *pipeline.ProfileCache
+	mux   *http.ServeMux
+	start time.Time
+
+	// baseOpt is the per-job option template: engine defaults plus the
+	// shared cache. Each submission copies it and fills CacheKey/Threads.
+	baseOpt pipeline.Options
+
+	// pending decouples HTTP handlers from Engine.Submit's backpressure:
+	// handlers enqueue without blocking (503 when full) and one submitter
+	// goroutine drains into the engine.
+	pending  chan pipeline.Job
+	submitMu sync.Mutex // guards pending sends against Drain's close
+	draining atomic.Bool
+	done     chan struct{} // closed when the last result is recorded
+
+	jobs jobStore
+
+	// accepted counts submissions acknowledged with 202 — it leads the
+	// engine's Submitted counter by however many jobs sit in pending.
+	accepted atomic.Int64
+
+	httpReqs sync.Map // endpoint label -> *atomic.Int64
+}
+
+// New starts the service: engine workers, the submitter, and the result
+// collector begin running immediately.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cache := pipeline.NewProfileCacheSize(cfg.CacheEntries)
+	opt := pipeline.Options{
+		BatchWorkers:     cfg.Workers,
+		Threads:          cfg.Threads,
+		Cache:            cache,
+		CollectFleetDeps: true,
+	}
+	s := &Server{
+		cfg:     cfg,
+		eng:     pipeline.NewEngine(opt),
+		cache:   cache,
+		baseOpt: opt,
+		start:   time.Now(),
+		pending: make(chan pipeline.Job, cfg.QueueDepth),
+		done:    make(chan struct{}),
+	}
+	s.jobs.init(cfg.MaxRecords)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/analyze", s.count("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.count("job", s.handleJob))
+	s.mux.HandleFunc("GET /v1/jobs", s.count("jobs", s.handleJobs))
+	s.mux.HandleFunc("GET /v1/workloads", s.count("workloads", s.handleWorkloads))
+	s.mux.HandleFunc("GET /metrics", s.count("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.count("healthz", s.handleHealthz))
+	go s.submitLoop()
+	go s.collectLoop()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops accepting submissions, lets every queued and in-flight job
+// finish, and returns once the last result is recorded (or ctx expires).
+// It is idempotent; the HTTP listener should be shut down first (or
+// concurrently) so clients see connection refusals rather than 503s.
+func (s *Server) Drain(ctx context.Context) error {
+	s.submitMu.Lock()
+	if !s.draining.Swap(true) {
+		close(s.pending)
+	}
+	s.submitMu.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with jobs still in flight: %w", ctx.Err())
+	}
+}
+
+// Stats exposes the engine's fleet counters (for embedders and tests; HTTP
+// clients use /metrics).
+func (s *Server) Stats() pipeline.FleetStats { return s.eng.Stats() }
+
+func (s *Server) submitLoop() {
+	for j := range s.pending {
+		s.eng.Submit(j)
+	}
+	s.eng.Close()
+}
+
+func (s *Server) collectLoop() {
+	for r := range s.eng.Results() {
+		s.jobs.finish(r)
+	}
+	close(s.done)
+}
+
+// count wraps a handler with a per-endpoint request counter (the
+// dp_http_requests_total metric).
+func (s *Server) count(label string, h http.HandlerFunc) http.HandlerFunc {
+	c := &atomic.Int64{}
+	s.httpReqs.Store(label, c)
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Add(1)
+		h(w, r)
+	}
+}
+
+// analyzeRequest is the POST /v1/analyze body. Exactly one of Workload and
+// Inline must be set.
+type analyzeRequest struct {
+	// Workload names a bundled workload, optionally with a scale suffix
+	// ("CG" or "CG@4"; the suffix wins over Scale).
+	Workload string `json:"workload,omitempty"`
+	// Scale is the workload scale factor (default 1).
+	Scale int `json:"scale,omitempty"`
+	// Threads overrides the service default for local-speedup ranking.
+	Threads int `json:"threads,omitempty"`
+	// BottomUp selects bottom-up CU construction.
+	BottomUp bool `json:"bottomup,omitempty"`
+	// Inline submits a synthetic module assembled from kernel patterns
+	// instead of a bundled workload.
+	Inline *InlineSpec `json:"inline,omitempty"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req analyzeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	job, rec, err := s.buildJob(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.jobs.add(rec)
+	s.submitMu.Lock()
+	if s.draining.Load() {
+		s.submitMu.Unlock()
+		s.jobs.drop(rec.ID)
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case s.pending <- job:
+		s.accepted.Add(1)
+		s.submitMu.Unlock()
+	default:
+		s.submitMu.Unlock()
+		s.jobs.drop(rec.ID)
+		writeError(w, http.StatusServiceUnavailable,
+			"submission queue full (%d pending)", cap(s.pending))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+rec.ID)
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{
+		"id": rec.ID, "state": jobQueued, "url": "/v1/jobs/" + rec.ID,
+	})
+}
+
+// buildJob resolves a request into an engine job plus its tracking record.
+func (s *Server) buildJob(req *analyzeRequest) (pipeline.Job, *jobRecord, error) {
+	opt := s.baseOpt
+	if req.Threads > 0 {
+		opt.Threads = req.Threads
+	}
+	opt.BottomUpCUs = req.BottomUp
+
+	rec := &jobRecord{State: jobQueued, Submitted: time.Now(), doneCh: make(chan struct{})}
+	switch {
+	case req.Inline != nil && req.Workload != "":
+		return pipeline.Job{}, nil, fmt.Errorf("workload and inline are mutually exclusive")
+	case req.Inline != nil:
+		mod, name, err := buildInline(req.Inline)
+		if err != nil {
+			return pipeline.Job{}, nil, err
+		}
+		// Inline modules are arbitrary client input: no cache key, every
+		// submission profiles.
+		rec.Workload = "inline:" + name
+		rec.ID = s.jobs.nextID()
+		return pipeline.Job{Name: rec.ID, Mod: mod, Opt: &opt}, rec, nil
+	case req.Workload != "":
+		name, scale, err := parseWorkloadSpec(req.Workload, req.Scale)
+		if err != nil {
+			return pipeline.Job{}, nil, err
+		}
+		prog, err := workloads.Build(name, scale)
+		if err != nil {
+			return pipeline.Job{}, nil, err
+		}
+		opt.CacheKey = fmt.Sprintf("%s@%d", name, scale)
+		rec.Workload = name
+		rec.Scale = scale
+		rec.ID = s.jobs.nextID()
+		return pipeline.Job{Name: rec.ID, Mod: prog.M, Opt: &opt}, rec, nil
+	}
+	return pipeline.Job{}, nil, fmt.Errorf("request needs a workload name or an inline module")
+}
+
+// maxWorkloadScale caps submitted scale factors: workload sizes grow
+// roughly linearly with scale, so an uncapped request could allocate an
+// arbitrarily large arena and hold a worker for hours (the inline path has
+// the same guard via its per-kernel N bound).
+const maxWorkloadScale = 64
+
+// parseWorkloadSpec splits "name@scale"; an explicit suffix wins over the
+// request's scale field. A scale of 0 means the default (1); malformed
+// suffixes, negative scales, and scales beyond maxWorkloadScale are
+// rejected.
+func parseWorkloadSpec(spec string, scale int) (string, int, error) {
+	name := spec
+	for i := 0; i < len(spec); i++ {
+		if spec[i] == '@' {
+			name = spec[:i]
+			n, err := strconv.Atoi(spec[i+1:])
+			if err != nil {
+				return "", 0, fmt.Errorf("bad scale suffix in %q", spec)
+			}
+			scale = n
+			break
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 1 || scale > maxWorkloadScale {
+		return "", 0, fmt.Errorf("scale %d out of range [1, %d]", scale, maxWorkloadScale)
+	}
+	return name, scale, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	// ?wait=2s blocks until the job finishes or the timeout elapses —
+	// submit-then-wait without a poll loop.
+	if waitSpec := r.URL.Query().Get("wait"); waitSpec != "" {
+		d, err := time.ParseDuration(waitSpec)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait duration %q", waitSpec)
+			return
+		}
+		const maxWait = 30 * time.Second
+		if d > maxWait {
+			d = maxWait
+		}
+		select {
+		case <-rec.doneCh:
+		case <-time.After(d):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.jobs.snapshot(rec))
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"workloads": workloads.List(r.URL.Query().Get("suite")),
+		"suites":    workloads.Suites(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -65,6 +65,27 @@ func register(name, suite string, build BuilderFunc) {
 	registry = append(registry, entry{name, suite, build})
 }
 
+// Info describes one registry entry without building it — the enumerable
+// registry view served by listing endpoints (e.g. dp-serve's
+// GET /v1/workloads) and tooling that needs names and suites but not
+// modules.
+type Info struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+}
+
+// List returns every registered workload's Info in registration order,
+// optionally filtered by suite ("" = all).
+func List(suite string) []Info {
+	out := make([]Info, 0, len(registry))
+	for _, e := range registry {
+		if suite == "" || e.suite == suite {
+			out = append(out, Info{Name: e.name, Suite: e.suite})
+		}
+	}
+	return out
+}
+
 // Names returns all registered workload names, optionally filtered by
 // suite ("" = all), in registration order.
 func Names(suite string) []string {

@@ -158,3 +158,30 @@ func TestUnknownWorkloadError(t *testing.T) {
 		t.Fatal("unknown workload did not error")
 	}
 }
+
+func TestListMatchesNames(t *testing.T) {
+	all := List("")
+	names := Names("")
+	if len(all) != len(names) {
+		t.Fatalf("List has %d entries, Names has %d", len(all), len(names))
+	}
+	for i, info := range all {
+		if info.Name != names[i] {
+			t.Errorf("List[%d].Name = %q, Names[%d] = %q", i, info.Name, i, names[i])
+		}
+		if info.Suite == "" {
+			t.Errorf("%s: empty suite", info.Name)
+		}
+	}
+	for _, suite := range Suites() {
+		sub := List(suite)
+		if len(sub) == 0 {
+			t.Errorf("suite %q: empty List", suite)
+		}
+		for _, info := range sub {
+			if info.Suite != suite {
+				t.Errorf("List(%q) returned %+v", suite, info)
+			}
+		}
+	}
+}

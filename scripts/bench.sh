@@ -79,24 +79,44 @@ baselab="after"
 if [ -z "$(vals_for_label "$base" "$baselab")" ]; then
   baselab=$(sed -n 's/^ *"\([^"]*\)": {.*/\1/p' "$base" | head -1)
 fi
+# Rows whose relative delta exceeds ±THRESHOLD_PCT are marked in the
+# table and summarized below it. The threshold is deliberately wide
+# (variance-aware): CI smoke runs are single iterations on shared runners,
+# so small swings are noise — marked rows warn, they never fail the job
+# (per the ROADMAP, a fail gate needs multi-run variance estimates first).
+THRESHOLD_PCT="${THRESHOLD_PCT:-15}"
 {
   echo "### Benchmark delta: \`$label\` vs \`$base\` (\`$baselab\`)"
   echo
-  echo "| benchmark | $base ns/op | $label ns/op | delta |"
-  echo "|---|---:|---:|---:|"
+  echo "| benchmark | $base ns/op | $label ns/op | delta | status |"
+  echo "|---|---:|---:|---:|---|"
   {
     vals_for_label "$base" "$baselab" | sed 's/^/old /'
     vals_for_label "$BENCH_OUT" "$label" | sed 's/^/new /'
-  } | awk '
+  } | awk -v thr="$THRESHOLD_PCT" '
     $1 == "old" { old[$2] = $3; next }
     $1 == "new" { new[$2] = $3; order[++k] = $2 }
     END {
+      warned = 0
       for (i = 1; i <= k; i++) {
         b = order[i]
-        if (b in old && old[b] > 0)
-          printf "| %s | %d | %d | %+.1f%% |\n", b, old[b], new[b], 100 * (new[b] - old[b]) / old[b]
-        else
-          printf "| %s | - | %d | new |\n", b, new[b]
+        if (b in old && old[b] > 0) {
+          pct = 100 * (new[b] - old[b]) / old[b]
+          status = "ok"
+          if (pct > thr)       { status = sprintf("⚠️ regression >+%s%%", thr); warn[++warned] = sprintf("%s %+.1f%%", b, pct) }
+          else if (pct < -thr) { status = sprintf("✅ improvement >-%s%%", thr) }
+          printf "| %s | %d | %d | %+.1f%% | %s |\n", b, old[b], new[b], pct, status
+        } else {
+          printf "| %s | - | %d | new | - |\n", b, new[b]
+        }
+      }
+      print ""
+      if (warned > 0) {
+        printf "**%d benchmark(s) above the ±%s%% variance threshold:** ", warned, thr
+        for (i = 1; i <= warned; i++) printf "%s%s", warn[i], (i < warned ? ", " : "")
+        print " — informational only (single-iteration smoke runs are noisy; rerun with COUNT≥5 locally before acting)."
+      } else {
+        printf "All deltas within the ±%s%% variance threshold.\n", thr
       }
     }'
 } | tee "$delta"

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# scripts/serve-smoke.sh — boot dp-serve on a random port, check /healthz
+# and /metrics, submit one analysis, wait for it, and assert the fleet
+# counters moved. The CI serve-smoke job runs this; it is also the quickest
+# local end-to-end check of the service subsystem.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${BIN:-$(mktemp -d)/dp-serve}"
+LOG="$(mktemp)"
+go build -o "$BIN" ./cmd/dp-serve
+
+"$BIN" -addr 127.0.0.1:0 -jobs 2 >"$LOG" 2>&1 &
+SRV=$!
+trap 'kill -TERM "$SRV" 2>/dev/null || true; wait "$SRV" 2>/dev/null || true' EXIT
+
+# The first stdout line reports the resolved address; wait for it.
+PORT=""
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$LOG")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "dp-serve never reported its port"; cat "$LOG"; exit 1; }
+BASE="http://127.0.0.1:$PORT"
+echo "dp-serve up on $BASE"
+
+fail() { echo "FAIL: $1"; cat "$LOG"; exit 1; }
+
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/healthz")" = 200 ] \
+  || fail "/healthz not 200"
+
+code=$(curl -s -o /tmp/metrics0.txt -w '%{http_code}' "$BASE/metrics")
+[ "$code" = 200 ] || fail "/metrics not 200"
+grep -q '^# TYPE dp_queue_latency_seconds histogram' /tmp/metrics0.txt \
+  || fail "no queue-latency histogram declared"
+
+# Submit one analysis and wait for it inline.
+resp=$(curl -s -XPOST "$BASE/v1/analyze" -d '{"workload":"histogram"}')
+id=$(echo "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || fail "no job id in $resp"
+job=$(curl -s "$BASE/v1/jobs/$id?wait=30s")
+echo "$job" | grep -q '"state":"done"' || fail "job did not finish: $job"
+echo "$job" | grep -q '"suggestions":\[{' || fail "job has no suggestions: $job"
+
+# The scrape must now show non-empty fleet counters: a completed job,
+# executed instructions, pool traffic, and populated histogram buckets.
+curl -sf "$BASE/metrics" > /tmp/metrics1.txt || fail "/metrics scrape failed"
+check_pos() {
+  v=$(sed -n "s/^$1 \([0-9.e+]*\)$/\1/p" /tmp/metrics1.txt)
+  [ -n "$v" ] || fail "metric $1 missing"
+  awk -v v="$v" 'BEGIN { exit (v > 0 ? 0 : 1) }' || fail "metric $1 = $v, want > 0"
+}
+check_pos dp_jobs_submitted_total
+check_pos dp_jobs_completed_total
+check_pos dp_instrs_total
+check_pos dp_pool_gets_total
+check_pos dp_pool_fresh_total
+check_pos dp_queue_latency_seconds_count
+grep -q 'dp_stage_seconds_total{stage="profile"}' /tmp/metrics1.txt \
+  || fail "no per-stage counter"
+
+# Graceful drain: SIGTERM must end the process cleanly.
+kill -TERM "$SRV"
+for _ in $(seq 1 50); do
+  kill -0 "$SRV" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$SRV" 2>/dev/null && fail "dp-serve still running after SIGTERM"
+wait "$SRV" 2>/dev/null || true
+grep -q "drained cleanly" "$LOG" || fail "no clean-drain log line"
+trap - EXIT
+echo "serve smoke OK"
