@@ -9,6 +9,12 @@
 //	dp-discover -workload CG [-scale 1] [-threads 16] [-bottomup] [-cus] [-v]
 //	dp-discover -workload CG,EP,kmeans -jobs 4
 //	dp-discover -workload all -stats
+//	dp-discover -workload all -remote http://10.0.0.7:8080,http://10.0.0.8:8080
+//
+// With -remote the modules are serialized and shipped to the named
+// dp-serve workers instead of being analyzed in-process; the printed
+// ranking comes from the workers' wire reports (CU-graph options like
+// -cus and -dot need the in-process products and are unavailable).
 package main
 
 import (
@@ -16,9 +22,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"discopop"
 	"discopop/internal/ir"
+	"discopop/internal/pipeline"
+	"discopop/internal/remote"
 	"discopop/internal/workloads"
 )
 
@@ -33,6 +42,7 @@ func main() {
 		stats    = flag.Bool("stats", false, "print fleet-level engine stats")
 		dot      = flag.String("dot", "", "write the CU graph in Graphviz format (raw|clustered)")
 		verbose  = flag.Bool("v", false, "print blocking dependences per loop")
+		remotes  = flag.String("remote", "", "comma-separated dp-serve worker URLs; analyze on the fleet")
 	)
 	flag.Parse()
 	if *workload == "" {
@@ -52,11 +62,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dp-discover: -dot supports a single workload (stdout is one Graphviz document)")
 		os.Exit(2)
 	}
-	results, fleet := discopop.AnalyzeAllStats(batch, discopop.Options{
+	if *remotes != "" && (*dot != "" || *showCUs) {
+		fmt.Fprintln(os.Stderr, "dp-discover: -cus/-dot need the in-process CU graph and cannot combine with -remote")
+		os.Exit(2)
+	}
+	opt := discopop.Options{
 		Threads:      *threads,
 		BottomUpCUs:  *bottomUp,
 		BatchWorkers: *jobs,
-	})
+	}
+	var results []*pipeline.JobResult
+	var fleet pipeline.FleetStats
+	if *remotes != "" {
+		results, fleet = analyzeRemote(batch, opt, strings.Split(*remotes, ","))
+	} else {
+		results, fleet = discopop.AnalyzeAllStats(batch, opt)
+	}
 	failed := false
 	for _, jr := range results {
 		if jr.Err != nil {
@@ -97,26 +118,34 @@ func main() {
 	}
 }
 
+// analyzeRemote fans the batch out over dp-serve workers: the engine's
+// only stage serializes each module and ships it to the fleet, with
+// failover between peers and local fallback when every peer is down.
+func analyzeRemote(batch []discopop.Job, opt discopop.Options, peers []string) ([]*pipeline.JobResult, pipeline.FleetStats) {
+	stage := &remote.Stage{Client: remote.NewClient(peers, remote.ClientOptions{})}
+	out, fleet := pipeline.AnalyzeAllWith(
+		&pipeline.Pipeline{Stages: []pipeline.Stage{stage}}, batch, opt)
+	if n := stage.Fallbacks(); n > 0 {
+		fmt.Fprintf(os.Stderr, "dp-discover: %d job(s) fell back to local analysis (no peer available)\n", n)
+	}
+	return out, fleet
+}
+
 func report(name string, rep *discopop.Report, verbose, showCUs bool, dot string) {
+	if rep.Profile == nil || rep.CUs == nil {
+		// Remote analysis: only the wire summary crossed back.
+		peer := rep.RemotePeer
+		if peer == "" {
+			peer = "?"
+		}
+		fmt.Printf("%s: %d statements executed, %d dependences, %d CUs (analyzed on %s)\n\n",
+			name, rep.Instrs, rep.NumDeps(), rep.NumCUs(), peer)
+		printRanking(rep, verbose)
+		return
+	}
 	fmt.Printf("%s: %d statements executed, %d dependences, %d CUs, %d CU edges\n\n",
 		name, rep.Instrs, len(rep.Profile.Deps), len(rep.CUs.CUs), len(rep.CUs.Edges))
-	fmt.Printf("%-4s %-18s %-10s %9s %9s %9s %9s\n",
-		"rank", "kind", "location", "coverage", "speedup", "imbal", "score")
-	rank := 0
-	for _, s := range rep.Ranked {
-		if s.Score <= 0 && !verbose {
-			continue
-		}
-		rank++
-		fmt.Printf("%-4d %-18s %-10s %8.1f%% %8.2fx %9.3f %9.4f  %s\n",
-			rank, s.Kind, s.Loc, 100*s.Coverage, s.LocalSpeedup, s.Imbalance, s.Score, s.Notes)
-		if verbose {
-			for _, d := range s.Blocking {
-				fmt.Printf("       blocking: %s RAW %s (%s)\n",
-					d.Sink, d.Source, rep.Profile.VarName(d.Var))
-			}
-		}
-	}
+	printRanking(rep, verbose)
 	if dot != "" {
 		// Figure 3.6 style (RAW only) or Figure 3.7 style (clustered).
 		fmt.Print(rep.CUs.DOT(dot != "clustered", dot == "clustered"))
@@ -134,6 +163,26 @@ func report(name string, rep *discopop.Report, verbose, showCUs bool, dot string
 				carried = " carried"
 			}
 			fmt.Printf("  CU#%d -%s%s-> CU#%d (%d)\n", e.From.ID, e.Type, carried, e.To.ID, e.Count)
+		}
+	}
+}
+
+func printRanking(rep *discopop.Report, verbose bool) {
+	fmt.Printf("%-4s %-18s %-10s %9s %9s %9s %9s\n",
+		"rank", "kind", "location", "coverage", "speedup", "imbal", "score")
+	rank := 0
+	for _, s := range rep.Ranked {
+		if s.Score <= 0 && !verbose {
+			continue
+		}
+		rank++
+		fmt.Printf("%-4d %-18s %-10s %8.1f%% %8.2fx %9.3f %9.4f  %s\n",
+			rank, s.Kind, s.Loc, 100*s.Coverage, s.LocalSpeedup, s.Imbalance, s.Score, s.Notes)
+		if verbose && rep.Profile != nil {
+			for _, d := range s.Blocking {
+				fmt.Printf("       blocking: %s RAW %s (%s)\n",
+					d.Sink, d.Source, rep.Profile.VarName(d.Var))
+			}
 		}
 	}
 }

@@ -5,11 +5,18 @@
 // Usage:
 //
 //	dp-serve [-addr :8080] [-jobs 0] [-cache-size 1024] [-queue 64] [-threads 16]
+//	dp-serve -addr :8080 -peers http://10.0.0.7:8081,http://10.0.0.8:8081
 //
 //	curl -XPOST localhost:8080/v1/analyze -d '{"workload":"CG","scale":2}'
 //	curl localhost:8080/v1/jobs/j000001?wait=10s
 //	curl localhost:8080/v1/workloads
 //	curl localhost:8080/metrics
+//
+// With -peers the node runs as a coordinator: every submission is
+// encoded into the versioned IR wire format and shipped to a peer
+// dp-serve worker (round-robin with health tracking and failover),
+// falling back to local analysis when the whole fleet is unreachable.
+// Per-peer proxy counters appear on /metrics.
 //
 // On SIGTERM/SIGINT the service drains: the listener closes, queued and
 // running jobs finish, then the process exits. A second signal aborts
@@ -26,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +48,7 @@ func main() {
 		queue     = flag.Int("queue", 64, "pending submissions accepted before 503")
 		threads   = flag.Int("threads", 16, "default thread count for local-speedup ranking")
 		drainFor  = flag.Duration("drain-timeout", time.Minute, "max time to wait for in-flight jobs on shutdown")
+		peers     = flag.String("peers", "", "comma-separated worker URLs; run as a fleet coordinator")
 	)
 	flag.Parse()
 
@@ -47,12 +56,20 @@ func main() {
 	if cacheEntries == 0 {
 		cacheEntries = -1 // Config: negative = unbounded
 	}
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
 	svc := server.New(server.Config{
 		Workers:      *jobs,
 		CacheEntries: cacheEntries,
 		QueueDepth:   *queue,
 		Threads:      *threads,
+		Peers:        peerList,
 	})
+	if len(peerList) > 0 {
+		log.Printf("dp-serve: coordinating a %d-peer fleet: %s", len(peerList), *peers)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -56,6 +56,18 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind inverts Kind.String, for reports that cross a serialization
+// boundary (the remote-stage wire format). The second result is false for
+// unrecognized strings.
+func ParseKind(s string) (Kind, bool) {
+	for k := DOALL; k <= Sequential; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // Suggestion is one parallelization opportunity.
 type Suggestion struct {
 	Kind   Kind

@@ -323,6 +323,10 @@ func (e *Engine) record(res *JobResult, ctx *Context) {
 		e.stats.Deps += int64(len(ctx.Profile.Deps))
 		e.stats.Accesses += ctx.Profile.Accesses
 		e.stats.StoreBytes += ctx.Profile.StoreBytes
+	} else {
+		// Remote stage: the profile stayed on the worker; fold the wire
+		// summary's dependence count so fleet totals still move.
+		e.stats.Deps += int64(ctx.DepCount)
 	}
 	for _, st := range ctx.Times {
 		e.stats.StageTime[st.Stage] += st.D
@@ -341,6 +345,13 @@ func AnalyzeAll(jobs []Job, opt Options) []*JobResult {
 // AnalyzeAllStats is AnalyzeAll plus the engine's fleet-level stats.
 func AnalyzeAllStats(jobs []Job, opt Options) ([]*JobResult, FleetStats) {
 	return analyzeAll(New(), jobs, opt)
+}
+
+// AnalyzeAllWith runs the jobs through a custom stage sequence (e.g. a
+// remote stage shipping modules to a worker fleet) on the bounded pool,
+// returning one result per job in submission order plus fleet stats.
+func AnalyzeAllWith(pl *Pipeline, jobs []Job, opt Options) ([]*JobResult, FleetStats) {
+	return analyzeAll(pl, jobs, opt)
 }
 
 // ProfileAll runs the profile-only pipeline over the jobs concurrently,

@@ -99,6 +99,16 @@ type Context struct {
 	// (no instrumented execution ran for this job).
 	CacheHit bool
 
+	// DepCount and CUCount mirror len(Profile.Deps) and len(CUs.CUs) for
+	// jobs analyzed by a remote stage, where the full products stay on the
+	// worker and only the report summary crosses the wire. Use
+	// Report.NumDeps/NumCUs to read either form uniformly.
+	DepCount int
+	CUCount  int
+	// RemotePeer is the URL of the peer that served the analysis, empty
+	// for local runs.
+	RemotePeer string
+
 	// Times records per-stage wall time in execution order.
 	Times []StageTime
 }
@@ -321,8 +331,32 @@ type Report struct {
 	ExecTime time.Duration
 	// CacheHit reports that the profile was served from a ProfileCache.
 	CacheHit bool
+	// DepCount and CUCount carry the dependence and CU counts of a
+	// remotely-analyzed job (Profile and CUs stay on the worker).
+	DepCount int
+	CUCount  int
+	// RemotePeer is the URL of the peer that served the analysis, empty
+	// for local runs.
+	RemotePeer string
 	// Times records per-stage wall time in execution order.
 	Times []StageTime
+}
+
+// NumDeps returns the number of distinct dependences, whether the full
+// profile is present (local analysis) or only the wire summary (remote).
+func (r *Report) NumDeps() int {
+	if r.Profile != nil {
+		return len(r.Profile.Deps)
+	}
+	return r.DepCount
+}
+
+// NumCUs returns the number of computational units, local or remote.
+func (r *Report) NumCUs() int {
+	if r.CUs != nil {
+		return len(r.CUs.CUs)
+	}
+	return r.CUCount
 }
 
 // StageDuration returns the recorded wall time of the named stage (0 when
@@ -339,17 +373,20 @@ func (r *Report) StageDuration(name string) time.Duration {
 // Report assembles the stage products into a Report.
 func (c *Context) Report() *Report {
 	return &Report{
-		Mod:      c.Mod,
-		Profile:  c.Profile,
-		PET:      c.PET,
-		Scope:    c.Scope,
-		CUs:      c.CUs,
-		Analysis: c.Analysis,
-		Ranked:   c.Ranked,
-		Instrs:   c.Instrs,
-		ExecTime: c.ExecTime,
-		CacheHit: c.CacheHit,
-		Times:    c.Times,
+		Mod:        c.Mod,
+		Profile:    c.Profile,
+		PET:        c.PET,
+		Scope:      c.Scope,
+		CUs:        c.CUs,
+		Analysis:   c.Analysis,
+		Ranked:     c.Ranked,
+		Instrs:     c.Instrs,
+		ExecTime:   c.ExecTime,
+		CacheHit:   c.CacheHit,
+		DepCount:   c.DepCount,
+		CUCount:    c.CUCount,
+		RemotePeer: c.RemotePeer,
+		Times:      c.Times,
 	}
 }
 

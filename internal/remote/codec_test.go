@@ -1,0 +1,210 @@
+package remote
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"discopop/internal/ir"
+	"discopop/internal/workloads"
+)
+
+// TestCodecRoundTripRegistry encodes every bundled workload, decodes it,
+// and checks (a) the decoded module prints identically to the original
+// (deep structural equality) and (b) re-encoding the decoded module
+// reproduces the exact bytes (the codec is a fixed point on its own
+// output).
+func TestCodecRoundTripRegistry(t *testing.T) {
+	for _, info := range workloads.List("") {
+		prog, err := workloads.Build(info.Name, 1)
+		if err != nil {
+			t.Fatalf("build %s: %v", info.Name, err)
+		}
+		enc, err := Encode(prog.M)
+		if err != nil {
+			t.Fatalf("encode %s: %v", info.Name, err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode %s: %v", info.Name, err)
+		}
+		if got, want := ir.Print(dec), ir.Print(prog.M); got != want {
+			t.Fatalf("%s: decoded module prints differently:\n got: %.400s\nwant: %.400s",
+				info.Name, got, want)
+		}
+		enc2, err := Encode(dec)
+		if err != nil {
+			t.Fatalf("re-encode %s: %v", info.Name, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("%s: re-encoded bytes differ (len %d vs %d)", info.Name, len(enc), len(enc2))
+		}
+		if len(enc) > DefaultLimits().MaxBytes {
+			t.Fatalf("%s: encoded size %d exceeds default byte limit", info.Name, len(enc))
+		}
+	}
+}
+
+// TestCodecPreservesStructure spot-checks the cross-reference wiring the
+// printer cannot see: region tree shape, statement back-pointers, and
+// function/variable ownership.
+func TestCodecPreservesStructure(t *testing.T) {
+	prog, err := workloads.Build("CG", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := Encode(prog.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Regions) != len(prog.M.Regions) {
+		t.Fatalf("region count %d, want %d", len(dec.Regions), len(prog.M.Regions))
+	}
+	for i, r := range dec.Regions {
+		o := prog.M.Regions[i]
+		if r.Kind != o.Kind || r.Start != o.Start || r.End != o.End {
+			t.Fatalf("region %d mismatch: %v vs %v", i, r, o)
+		}
+		if (r.Parent == nil) != (o.Parent == nil) {
+			t.Fatalf("region %d parent nil-ness differs", i)
+		}
+		if r.Parent != nil && r.Parent.ID != o.Parent.ID {
+			t.Fatalf("region %d parent %d, want %d", i, r.Parent.ID, o.Parent.ID)
+		}
+		if len(r.Children) != len(o.Children) {
+			t.Fatalf("region %d has %d children, want %d", i, len(r.Children), len(o.Children))
+		}
+		if r.Kind != ir.RFunc && r.Stmt == nil {
+			t.Fatalf("region %d lost its statement", i)
+		}
+		if r.Func == nil || r.Func.Name != o.Func.Name {
+			t.Fatalf("region %d func mismatch", i)
+		}
+	}
+	for i, v := range dec.Vars {
+		o := prog.M.Vars[i]
+		if v.ID != i || v.Name != o.Name || v.Kind != o.Kind || v.Elems != o.Elems ||
+			v.ByValue != o.ByValue || v.Heap != o.Heap || v.Decl != o.Decl {
+			t.Fatalf("var %d (%s) mismatch", i, o.Name)
+		}
+		if (v.DeclRegion == nil) != (o.DeclRegion == nil) {
+			t.Fatalf("var %s decl-region nil-ness differs", o.Name)
+		}
+		if v.DeclRegion != nil && v.DeclRegion.ID != o.DeclRegion.ID {
+			t.Fatalf("var %s decl region %d, want %d", o.Name, v.DeclRegion.ID, o.DeclRegion.ID)
+		}
+	}
+	if dec.Main == nil || dec.Main.Name != prog.M.Main.Name {
+		t.Fatal("main function not preserved")
+	}
+	for i, f := range dec.Funcs {
+		o := prog.M.Funcs[i]
+		if len(f.Locals) != len(o.Locals) || len(f.Params) != len(o.Params) {
+			t.Fatalf("func %s param/local counts differ", o.Name)
+		}
+	}
+}
+
+// TestEncodeDeterministic encodes the same workload twice from scratch:
+// two structurally identical builds must yield identical bytes.
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := workloads.Build("kmeans", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workloads.Build("kmeans", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := Encode(a.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := Encode(b.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("two builds of the same workload encode differently")
+	}
+}
+
+// TestDecodeRejects exercises the strict-validation paths on malformed
+// and hostile inputs.
+func TestDecodeRejects(t *testing.T) {
+	prog, err := workloads.Build("histogram", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := Encode(prog.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "bad magic"},
+		{"bad magic", []byte("NOPE1234"), "bad magic"},
+		{"bad version", append([]byte(magic), 0xff, 0x01), "unsupported wire version"},
+		{"truncated", valid[:len(valid)/2], ""},
+		{"trailing garbage", append(append([]byte{}, valid...), 1, 2, 3), "trailing bytes"},
+	}
+	for _, tc := range cases {
+		m, err := Decode(tc.data)
+		if err == nil {
+			t.Fatalf("%s: decode succeeded (module %v)", tc.name, m.Name)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Flipping any single byte must never panic; it may still decode (a
+	// flipped bit in a float constant is a valid different module).
+	for i := range valid {
+		mut := append([]byte{}, valid...)
+		mut[i] ^= 0x41
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("byte %d flip: decode panicked: %v", i, r)
+				}
+			}()
+			Decode(mut)
+		}()
+	}
+}
+
+// TestDecodeLimits checks that the footprint and size caps reject
+// oversized modules before any large allocation happens.
+func TestDecodeLimits(t *testing.T) {
+	b := ir.NewBuilder("big")
+	b.GlobalArray("huge", ir.F64, 1<<20)
+	fb := b.Func("main")
+	fb.Return(nil)
+	m := b.Build(fb.Done())
+	enc, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := DefaultLimits()
+	lim.MaxTotalElems = 1 << 10
+	if _, err := DecodeLimits(enc, lim); err == nil {
+		t.Fatal("footprint cap did not reject a 1M-element module")
+	}
+	lim = DefaultLimits()
+	lim.MaxBytes = 16
+	if _, err := DecodeLimits(enc, lim); err == nil {
+		t.Fatal("byte cap did not reject")
+	}
+	if _, err := Decode(enc); err != nil {
+		t.Fatalf("default limits rejected a legitimate module: %v", err)
+	}
+}

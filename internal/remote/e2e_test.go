@@ -1,0 +1,288 @@
+package remote_test
+
+// End-to-end multi-node harness: real dp-serve workers behind httptest
+// listeners, a coordinator configured with their URLs, and the full
+// bundled workload registry flowing through the remote stage. The
+// coordinator's reports must be byte-identical to a local-only node's,
+// and the workers' /metrics must prove the work actually landed on them.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"discopop/internal/metrics"
+	"discopop/internal/server"
+	"discopop/internal/workloads"
+)
+
+type node struct {
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+func bootNode(t *testing.T, cfg server.Config) *node {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return &node{srv: s, ts: ts}
+}
+
+// analyzeOn submits one workload and returns the terminal job view as a
+// decoded JSON object.
+func analyzeOn(t *testing.T, base, workload string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/analyze", "application/json",
+		jsonBody(t, map[string]any{"workload": workload}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil || acc.ID == "" {
+		t.Fatalf("submit %s: %v (id %q)", workload, err, acc.ID)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + acc.ID + "?wait=10s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if state := view["state"]; state != "queued" {
+			if state != "done" {
+				t.Fatalf("%s: job %s state %v: %v", workload, acc.ID, state, view["error"])
+			}
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: job %s still queued after 120s", workload, acc.ID)
+		}
+	}
+}
+
+func jsonBody(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// canonicalReport strips the fields that legitimately differ between a
+// local and a proxied run — timings, cache state, serving peer — and
+// re-marshals the rest with sorted keys, so equality is byte equality of
+// the analysis content: instruction count, dependences, CUs, and the
+// full ranked suggestion list.
+func canonicalReport(t *testing.T, view map[string]any) []byte {
+	t.Helper()
+	result, ok := view["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("job view has no result: %v", view)
+	}
+	delete(result, "elapsed_ms")
+	delete(result, "queue_ms")
+	delete(result, "cache_hit")
+	delete(result, "peer")
+	b, err := json.Marshal(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func scrapeCounter(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	scrape, err := metrics.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape %s: %v", base, err)
+	}
+	v, _ := scrape.Value(name)
+	return v
+}
+
+// TestE2EFleetMatchesLocal is the multi-node acceptance test: a
+// coordinator with two peer workers must produce, for every workload in
+// the registry, a report byte-identical to a local-only node's — and
+// the workers' own job counters must show the analyses ran there.
+func TestE2EFleetMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node e2e sweep in -short mode")
+	}
+	w1 := bootNode(t, server.Config{Workers: 2})
+	w2 := bootNode(t, server.Config{Workers: 2})
+	coord := bootNode(t, server.Config{
+		Workers: 4,
+		Peers:   []string{w1.ts.URL, w2.ts.URL},
+	})
+	local := bootNode(t, server.Config{Workers: 4})
+
+	registry := workloads.List("")
+	if len(registry) == 0 {
+		t.Fatal("empty workload registry")
+	}
+	for _, info := range registry {
+		fleetView := analyzeOn(t, coord.ts.URL, info.Name)
+		localView := analyzeOn(t, local.ts.URL, info.Name)
+		// Every fleet job must record the worker that served it (read
+		// before canonicalization strips the field).
+		if result, ok := fleetView["result"].(map[string]any); ok {
+			if p, _ := result["peer"].(string); p != w1.ts.URL && p != w2.ts.URL {
+				t.Errorf("%s: fleet job served by %q, not a configured worker", info.Name, p)
+			}
+		}
+		fleet := canonicalReport(t, fleetView)
+		want := canonicalReport(t, localView)
+		if string(fleet) != string(want) {
+			t.Errorf("%s: fleet report differs from local:\nfleet: %s\nlocal: %s",
+				info.Name, fleet, want)
+		}
+	}
+
+	// The work must actually have landed on the workers: their own job
+	// counters account for the whole sweep, and both peers took a share.
+	n1 := scrapeCounter(t, w1.ts.URL, "dp_jobs_completed_total")
+	n2 := scrapeCounter(t, w2.ts.URL, "dp_jobs_completed_total")
+	if int(n1+n2) != len(registry) {
+		t.Errorf("workers completed %v+%v jobs, want %d", n1, n2, len(registry))
+	}
+	if n1 == 0 || n2 == 0 {
+		t.Errorf("fan-out did not reach both workers: %v vs %v", n1, n2)
+	}
+	if fb := scrapeCounter(t, coord.ts.URL, "dp_remote_fallbacks_total"); fb != 0 {
+		t.Errorf("coordinator fell back locally %v times with a healthy fleet", fb)
+	}
+	// The coordinator proxied everything: per-peer request counters sum
+	// to the registry size.
+	resp, err := http.Get(coord.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	scrape, err := metrics.Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peerJobs float64
+	for _, p := range scrape.Points {
+		if p.Name == "dp_peer_jobs_total" {
+			peerJobs += p.Value
+		}
+	}
+	if int(peerJobs) != len(registry) {
+		t.Errorf("coordinator counted %v peer jobs, want %d", peerJobs, len(registry))
+	}
+}
+
+// TestE2EThreeNodeInlineAndModule drives a 3-worker fleet with the other
+// two body kinds — inline pattern modules and raw serialized modules —
+// making sure proxying is not workload-registry-specific.
+func TestE2EThreeNodeInlineAndModule(t *testing.T) {
+	workers := []*node{
+		bootNode(t, server.Config{Workers: 1}),
+		bootNode(t, server.Config{Workers: 1}),
+		bootNode(t, server.Config{Workers: 1}),
+	}
+	peers := make([]string, len(workers))
+	for i, w := range workers {
+		peers[i] = w.ts.URL
+	}
+	coord := bootNode(t, server.Config{Workers: 3, Peers: peers})
+
+	// Inline kernels proxied through the fleet still classify correctly.
+	resp, err := http.Post(coord.ts.URL+"/v1/analyze", "application/json",
+		jsonBody(t, map[string]any{
+			"inline": map[string]any{
+				"name":    "probe",
+				"kernels": []map[string]any{{"pattern": "doall", "n": 64}},
+			},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil || acc.ID == "" {
+		t.Fatalf("inline submit: %v", err)
+	}
+	view := waitView(t, coord.ts.URL, acc.ID)
+	if view["state"] != "done" {
+		t.Fatalf("inline job: %v", view)
+	}
+	result := view["result"].(map[string]any)
+	suggestions, _ := result["suggestions"].([]any)
+	if len(suggestions) == 0 {
+		t.Fatal("proxied inline module produced no suggestions")
+	}
+	first := suggestions[0].(map[string]any)
+	if first["kind"] != "DOALL" {
+		t.Errorf("doall kernel classified as %v", first["kind"])
+	}
+
+	// Work spread: with three single-worker peers and several jobs, at
+	// least two peers must have seen traffic.
+	for i := 0; i < 5; i++ {
+		analyzeOn(t, coord.ts.URL, "matmul")
+	}
+	busy := 0
+	for _, w := range workers {
+		if scrapeCounter(t, w.ts.URL, "dp_jobs_completed_total") > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d of 3 workers saw traffic", busy)
+	}
+}
+
+func waitView(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "?wait=5s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view["state"] != "queued" {
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still queued", id)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"discopop/internal/discovery"
+	"discopop/internal/ir"
+	"discopop/internal/pipeline"
+)
+
+// Stage is a pipeline.Stage that ships the job's module to a peer
+// dp-serve worker instead of analyzing it locally. The module is encoded
+// with the versioned codec, submitted over POST /v1/analyze, and the
+// worker's report summary is mapped back into the local Context:
+// suggestion locations resolve against the local module (the codec is
+// deterministic, so worker and coordinator agree on every <file:line>),
+// making Report.SuggestionFor and the ranked listing work as if the
+// analysis had run in-process.
+//
+// When no peer can take the job — every peer down, all attempts
+// exhausted, or the fleet rejecting a payload its wire limits will not
+// admit — the stage falls back to running the local pipeline, so a
+// coordinator degrades to a plain single-node service rather than
+// failing the batch. Only an analysis that actually ran on a peer and
+// failed is surfaced as an error (it would fail identically anywhere).
+type Stage struct {
+	// Client routes work to the peer fleet.
+	Client *Client
+	// Local is the fallback stage sequence (nil = the default five-stage
+	// pipeline).
+	Local *pipeline.Pipeline
+
+	fallbacks atomic.Int64
+}
+
+// Name implements pipeline.Stage.
+func (s *Stage) Name() string { return "remote" }
+
+// Fallbacks reports how many jobs ran through the local fallback because
+// no peer was available.
+func (s *Stage) Fallbacks() int64 { return s.fallbacks.Load() }
+
+// Run implements pipeline.Stage.
+func (s *Stage) Run(ctx *pipeline.Context) error {
+	enc, err := Encode(ctx.Mod)
+	if err != nil {
+		return fmt.Errorf("encode module: %w", err)
+	}
+	rep, err := s.Client.AnalyzeBytes(context.Background(), enc,
+		Spec{Threads: ctx.Opt.Threads, BottomUp: ctx.Opt.BottomUpCUs})
+	if err != nil {
+		var rerr *RemoteError
+		if errors.As(err, &rerr) && !rerr.Rejected {
+			// The analysis ran on the peer and failed; it would fail the
+			// same way locally, so surface the error.
+			return err
+		}
+		// Transport-level failure everywhere, or the peer rejected the
+		// submission (its wire limits can be stricter than what local
+		// analysis handles): degrade to local analysis.
+		s.fallbacks.Add(1)
+		return s.runLocal(ctx)
+	}
+	ctx.Instrs = rep.Instrs
+	ctx.DepCount = rep.Deps
+	ctx.CUCount = rep.CUs
+	ctx.CacheHit = rep.CacheHit
+	ctx.RemotePeer = rep.Peer
+	ctx.Ranked, err = mapSuggestions(rep.Suggestions, ctx.Mod)
+	return err
+}
+
+func (s *Stage) runLocal(ctx *pipeline.Context) error {
+	p := s.Local
+	if p == nil {
+		p = pipeline.New()
+	}
+	return p.Run(ctx)
+}
+
+// mapSuggestions rebuilds ranked discovery suggestions from their wire
+// form, resolving each location against the local module so downstream
+// consumers (Report.SuggestionFor, region-keyed tooling) see real region
+// pointers.
+func mapSuggestions(ws []WireSuggestion, mod *ir.Module) ([]*discovery.Suggestion, error) {
+	out := make([]*discovery.Suggestion, 0, len(ws))
+	for _, w := range ws {
+		kind, ok := discovery.ParseKind(w.Kind)
+		if !ok {
+			return nil, fmt.Errorf("remote: unknown suggestion kind %q", w.Kind)
+		}
+		loc, err := parseLoc(w.Loc)
+		if err != nil {
+			return nil, err
+		}
+		sg := &discovery.Suggestion{
+			Kind:         kind,
+			Loc:          loc,
+			Coverage:     w.Coverage,
+			LocalSpeedup: w.Speedup,
+			Imbalance:    w.Imbalance,
+			Score:        w.Score,
+			Notes:        w.Notes,
+		}
+		// Loop suggestions anchor at the loop's start line, so the
+		// innermost region containing the location is the loop itself.
+		if r := mod.RegionAt(loc); r != nil {
+			if r.Kind == ir.RLoop && r.Start == loc {
+				sg.Region = r
+			}
+			sg.Func = r.Func
+		}
+		out = append(out, sg)
+	}
+	return out, nil
+}
+
+// parseLoc inverts ir.Loc.String ("file:line").
+func parseLoc(s string) (ir.Loc, error) {
+	f, l, ok := strings.Cut(s, ":")
+	if !ok {
+		return ir.Loc{}, fmt.Errorf("remote: malformed location %q", s)
+	}
+	file, err := strconv.ParseInt(f, 10, 32)
+	if err != nil {
+		return ir.Loc{}, fmt.Errorf("remote: malformed location %q", s)
+	}
+	line, err := strconv.ParseInt(l, 10, 32)
+	if err != nil {
+		return ir.Loc{}, fmt.Errorf("remote: malformed location %q", s)
+	}
+	return ir.Loc{File: int32(file), Line: int32(line)}, nil
+}

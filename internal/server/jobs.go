@@ -55,6 +55,9 @@ type jobResult struct {
 	ElapsedMS   float64          `json:"elapsed_ms"`
 	QueueMS     float64          `json:"queue_ms"`
 	Suggestions []suggestionView `json:"suggestions"`
+	// Peer is the worker that served the analysis when this node proxied
+	// it to a fleet; empty for local runs.
+	Peer string `json:"peer,omitempty"`
 }
 
 // suggestionView is one ranked parallelization opportunity.
@@ -166,11 +169,12 @@ func summarize(r *pipeline.JobResult) *jobResult {
 	rep := r.Report
 	out := &jobResult{
 		Instrs:    rep.Instrs,
-		Deps:      len(rep.Profile.Deps),
-		CUs:       len(rep.CUs.CUs),
+		Deps:      rep.NumDeps(),
+		CUs:       rep.NumCUs(),
 		CacheHit:  rep.CacheHit,
 		ElapsedMS: float64(r.Elapsed) / float64(time.Millisecond),
 		QueueMS:   float64(r.QueueLat) / float64(time.Millisecond),
+		Peer:      rep.RemotePeer,
 	}
 	for _, s := range rep.Ranked {
 		if s.Score <= 0 || len(out.Suggestions) >= maxSuggestions {

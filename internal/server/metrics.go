@@ -4,6 +4,7 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +37,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		metrics.V(float64(st.Failed)))
 	e.Gauge("dp_jobs_pending", "Accepted jobs not yet handed to the engine.",
 		metrics.V(float64(len(s.pending))))
+	e.Counter("dp_jobs_rejected_total", "Submissions rejected before the engine, by reason.",
+		labeledCounters(&s.rejected, "reason")...)
 	e.Gauge("dp_jobs_inflight", "Jobs accepted but not yet completed.",
 		metrics.V(float64(s.accepted.Load())-float64(st.Jobs)))
 	e.Histogram("dp_queue_latency_seconds",
@@ -85,27 +88,62 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Pool checkouts that allocated a fresh arena (recycle misses).",
 		metrics.V(float64(st.Pool.Fresh)))
 
+	// Remote proxying (coordinator mode only): per-peer counters of the
+	// fleet client, plus the local-fallback count.
+	if s.proxy != nil {
+		peers := s.proxy.Client.Stats()
+		reqs := make([]metrics.Sample, len(peers))
+		fails := make([]metrics.Sample, len(peers))
+		jobs := make([]metrics.Sample, len(peers))
+		healthy := make([]metrics.Sample, len(peers))
+		for i, p := range peers {
+			l := metrics.L("peer", p.URL)
+			reqs[i] = metrics.LV(float64(p.Requests), l)
+			fails[i] = metrics.LV(float64(p.Failures), l)
+			jobs[i] = metrics.LV(float64(p.Jobs), l)
+			h := 0.0
+			if p.Healthy {
+				h = 1
+			}
+			healthy[i] = metrics.LV(h, l)
+		}
+		e.Counter("dp_peer_requests_total", "Analysis submissions attempted per peer.", reqs...)
+		e.Counter("dp_peer_failures_total", "Transport failures per peer.", fails...)
+		e.Counter("dp_peer_jobs_total", "Analyses completed per peer.", jobs...)
+		e.Gauge("dp_peer_healthy", "1 while the peer is outside its failure cooldown.", healthy...)
+		e.Counter("dp_remote_fallbacks_total",
+			"Jobs analyzed locally because no peer was available.",
+			metrics.V(float64(s.proxy.Fallbacks())))
+	}
+
 	// Service.
 	e.Gauge("dp_uptime_seconds", "Seconds since the service started.",
 		metrics.V(time.Since(s.start).Seconds()))
-	var reqSamples []metrics.Sample
-	var labels []string
-	s.httpReqs.Range(func(k, _ any) bool {
-		labels = append(labels, k.(string))
-		return true
-	})
-	sort.Strings(labels)
-	for _, label := range labels {
-		c, _ := s.httpReqs.Load(label)
-		reqSamples = append(reqSamples,
-			metrics.LV(float64(c.(*atomic.Int64).Load()), metrics.L("endpoint", label)))
-	}
-	e.Counter("dp_http_requests_total", "HTTP requests by endpoint.", reqSamples...)
+	e.Counter("dp_http_requests_total", "HTTP requests by endpoint.",
+		labeledCounters(&s.httpReqs, "endpoint")...)
 
 	if err := e.Err(); err != nil {
 		// Headers are long gone; all we can do is log the malformed scrape.
 		log.Printf("metrics: %v", err)
 	}
+}
+
+// labeledCounters snapshots a sync.Map of name -> *atomic.Int64 into
+// label-sorted samples.
+func labeledCounters(m *sync.Map, label string) []metrics.Sample {
+	var names []string
+	m.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	samples := make([]metrics.Sample, 0, len(names))
+	for _, name := range names {
+		c, _ := m.Load(name)
+		samples = append(samples,
+			metrics.LV(float64(c.(*atomic.Int64).Load()), metrics.L(label, name)))
+	}
+	return samples
 }
 
 // latencyHistogram converts the engine's fixed-bucket LatencyHist into the

@@ -27,6 +27,9 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -36,6 +39,7 @@ import (
 	"time"
 
 	"discopop/internal/pipeline"
+	"discopop/internal/remote"
 	"discopop/internal/workloads"
 )
 
@@ -57,6 +61,14 @@ type Config struct {
 	// MaxRecords bounds the finished-job records retained for GET
 	// /v1/jobs/{id} (0 = 1024). Oldest finished records are evicted first.
 	MaxRecords int
+	// Peers lists worker base URLs (e.g. "http://10.0.0.7:8080"). When
+	// non-empty the node becomes a coordinator: every analysis is encoded
+	// and shipped to a peer through the remote stage (with failover and
+	// local fallback) instead of running in-process.
+	Peers []string
+	// Remote tunes the coordinator's peer client (zero value = defaults).
+	// Ignored without Peers.
+	Remote remote.ClientOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -103,7 +115,12 @@ type Server struct {
 	// engine's Submitted counter by however many jobs sit in pending.
 	accepted atomic.Int64
 
+	// proxy is the remote stage routing analyses to peer workers; nil for
+	// a plain single-node service.
+	proxy *remote.Stage
+
 	httpReqs sync.Map // endpoint label -> *atomic.Int64
+	rejected sync.Map // rejection reason -> *atomic.Int64
 }
 
 // New starts the service: engine workers, the submitter, and the result
@@ -119,12 +136,21 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:     cfg,
-		eng:     pipeline.NewEngine(opt),
 		cache:   cache,
 		baseOpt: opt,
 		start:   time.Now(),
 		pending: make(chan pipeline.Job, cfg.QueueDepth),
 		done:    make(chan struct{}),
+	}
+	if len(cfg.Peers) > 0 {
+		// Coordinator mode: the engine's only stage ships each module to a
+		// peer worker; the full local pipeline remains the stage's
+		// fallback when the whole fleet is unreachable.
+		s.proxy = &remote.Stage{Client: remote.NewClient(cfg.Peers, cfg.Remote)}
+		s.eng = pipeline.NewEngineWith(
+			&pipeline.Pipeline{Stages: []pipeline.Stage{s.proxy}}, opt)
+	} else {
+		s.eng = pipeline.NewEngine(opt)
 	}
 	s.jobs.init(cfg.MaxRecords)
 	s.mux = http.NewServeMux()
@@ -191,8 +217,8 @@ func (s *Server) count(label string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// analyzeRequest is the POST /v1/analyze body. Exactly one of Workload and
-// Inline must be set.
+// analyzeRequest is the POST /v1/analyze body. Exactly one of Workload,
+// Inline, and Module must be set.
 type analyzeRequest struct {
 	// Workload names a bundled workload, optionally with a scale suffix
 	// ("CG" or "CG@4"; the suffix wins over Scale).
@@ -206,10 +232,33 @@ type analyzeRequest struct {
 	// Inline submits a synthetic module assembled from kernel patterns
 	// instead of a bundled workload.
 	Inline *InlineSpec `json:"inline,omitempty"`
+	// Module submits a full serialized IR module: the base64 encoding of
+	// the internal/remote wire format. The service decodes it under
+	// strict limits (structure validation plus an op/memory footprint
+	// cap, the module analogue of the workload-scale cap) and runs it
+	// through the full pipeline.
+	Module string `json:"module,omitempty"`
 }
+
+// reject counts one rejected submission under its reason label (the
+// dp_jobs_rejected_total metric).
+func (s *Server) reject(reason string) {
+	c, _ := s.rejected.LoadOrStore(reason, &atomic.Int64{})
+	c.(*atomic.Int64).Add(1)
+}
+
+// Rejection reason labels.
+const (
+	rejectDraining  = "draining"
+	rejectBody      = "body"
+	rejectSpec      = "spec"
+	rejectDecode    = "decode"
+	rejectQueueFull = "queue_full"
+)
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		s.reject(rejectDraining)
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -217,11 +266,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		s.reject(rejectBody)
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	job, rec, err := s.buildJob(&req)
+	job, rec, reason, err := s.buildJob(&req)
 	if err != nil {
+		s.reject(reason)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -230,6 +281,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.submitMu.Unlock()
 		s.jobs.drop(rec.ID)
+		s.reject(rejectDraining)
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -240,6 +292,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.submitMu.Unlock()
 		s.jobs.drop(rec.ID)
+		s.reject(rejectQueueFull)
 		writeError(w, http.StatusServiceUnavailable,
 			"submission queue full (%d pending)", cap(s.pending))
 		return
@@ -252,8 +305,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// buildJob resolves a request into an engine job plus its tracking record.
-func (s *Server) buildJob(req *analyzeRequest) (pipeline.Job, *jobRecord, error) {
+// buildJob resolves a request into an engine job plus its tracking
+// record. On failure the reason label classifies the rejection for the
+// dp_jobs_rejected_total counter.
+func (s *Server) buildJob(req *analyzeRequest) (pipeline.Job, *jobRecord, string, error) {
 	opt := s.baseOpt
 	if req.Threads > 0 {
 		opt.Threads = req.Threads
@@ -261,35 +316,63 @@ func (s *Server) buildJob(req *analyzeRequest) (pipeline.Job, *jobRecord, error)
 	opt.BottomUpCUs = req.BottomUp
 
 	rec := &jobRecord{State: jobQueued, Submitted: time.Now(), doneCh: make(chan struct{})}
+	kinds := 0
+	for _, set := range []bool{req.Inline != nil, req.Workload != "", req.Module != ""} {
+		if set {
+			kinds++
+		}
+	}
+	if kinds > 1 {
+		return pipeline.Job{}, nil, rejectSpec,
+			fmt.Errorf("workload, inline, and module are mutually exclusive")
+	}
 	switch {
-	case req.Inline != nil && req.Workload != "":
-		return pipeline.Job{}, nil, fmt.Errorf("workload and inline are mutually exclusive")
 	case req.Inline != nil:
 		mod, name, err := buildInline(req.Inline)
 		if err != nil {
-			return pipeline.Job{}, nil, err
+			return pipeline.Job{}, nil, rejectSpec, err
 		}
 		// Inline modules are arbitrary client input: no cache key, every
 		// submission profiles.
 		rec.Workload = "inline:" + name
 		rec.ID = s.jobs.nextID()
-		return pipeline.Job{Name: rec.ID, Mod: mod, Opt: &opt}, rec, nil
+		return pipeline.Job{Name: rec.ID, Mod: mod, Opt: &opt}, rec, "", nil
+	case req.Module != "":
+		raw, err := base64.StdEncoding.DecodeString(req.Module)
+		if err != nil {
+			return pipeline.Job{}, nil, rejectDecode,
+				fmt.Errorf("module is not valid base64: %v", err)
+		}
+		mod, err := remote.Decode(raw)
+		if err != nil {
+			return pipeline.Job{}, nil, rejectDecode, err
+		}
+		// The codec is deterministic, so the payload hash is a
+		// content-addressed cache key: resubmitting the same module (a
+		// coordinator fanning a batch out repeatedly) skips re-profiling
+		// without trusting any client-supplied identity.
+		sum := sha256.Sum256(raw)
+		opt.CacheKey = "mod:" + hex.EncodeToString(sum[:])
+		rec.Workload = "module:" + mod.Name
+		rec.ID = s.jobs.nextID()
+		return pipeline.Job{Name: rec.ID, Mod: mod, Opt: &opt}, rec, "", nil
 	case req.Workload != "":
 		name, scale, err := parseWorkloadSpec(req.Workload, req.Scale)
 		if err != nil {
-			return pipeline.Job{}, nil, err
+			return pipeline.Job{}, nil, rejectSpec, err
 		}
 		prog, err := workloads.Build(name, scale)
 		if err != nil {
-			return pipeline.Job{}, nil, err
+			return pipeline.Job{}, nil, rejectSpec, err
 		}
 		opt.CacheKey = fmt.Sprintf("%s@%d", name, scale)
 		rec.Workload = name
 		rec.Scale = scale
 		rec.ID = s.jobs.nextID()
-		return pipeline.Job{Name: rec.ID, Mod: prog.M, Opt: &opt}, rec, nil
+		return pipeline.Job{Name: rec.ID, Mod: prog.M, Opt: &opt}, rec, "", nil
 	}
-	return pipeline.Job{}, nil, fmt.Errorf("request needs a workload name or an inline module")
+	return pipeline.Job{}, nil, rejectSpec,
+		fmt.Errorf("request needs a workload name, an inline module, or a serialized module")
 }
 
 // maxWorkloadScale caps submitted scale factors: workload sizes grow

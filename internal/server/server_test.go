@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -13,6 +14,8 @@ import (
 	"time"
 
 	"discopop/internal/metrics"
+	"discopop/internal/remote"
+	"discopop/internal/workloads"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -515,5 +518,88 @@ func TestJobRecordEviction(t *testing.T) {
 		if _, ok := js.get(rec.ID); !ok {
 			t.Errorf("queued record %s evicted", rec.ID)
 		}
+	}
+}
+
+// TestSerializedModuleSubmission submits a full serialized IR module and
+// checks it analyzes identically to the same workload submitted by name,
+// that resubmission hits the content-addressed profile cache, and that
+// malformed payloads are rejected with a categorized counter.
+func TestSerializedModuleSubmission(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	prog, err := workloads.Build("histogram", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := remote.Encode(prog.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modB64 := base64.StdEncoding.EncodeToString(enc)
+
+	byName := waitJob(t, ts.URL, postAnalyze(t, ts.URL, `{"workload":"histogram"}`))
+	asModule := waitJob(t, ts.URL, postAnalyze(t, ts.URL,
+		fmt.Sprintf(`{"module":%q}`, modB64)))
+	if asModule.State != jobDone {
+		t.Fatalf("module job state %q: %s", asModule.State, asModule.Error)
+	}
+	if asModule.Workload != "module:histogram" {
+		t.Fatalf("module job labeled %q", asModule.Workload)
+	}
+	// The decoded module must produce the same analysis as the bundled
+	// build: identical instruction count, dependences, CUs, and ranking.
+	a, b := byName.Result, asModule.Result
+	if a.Instrs != b.Instrs || a.Deps != b.Deps || a.CUs != b.CUs {
+		t.Fatalf("module analysis differs: %+v vs %+v", a, b)
+	}
+	av, _ := json.Marshal(a.Suggestions)
+	bv, _ := json.Marshal(b.Suggestions)
+	if !bytes.Equal(av, bv) {
+		t.Fatalf("module suggestions differ:\n%s\n%s", av, bv)
+	}
+
+	// Resubmitting the same bytes must hit the profile cache (the cache
+	// key is the payload hash, not a client-supplied name).
+	again := waitJob(t, ts.URL, postAnalyze(t, ts.URL,
+		fmt.Sprintf(`{"module":%q}`, modB64)))
+	if again.State != jobDone || again.Result == nil || !again.Result.CacheHit {
+		t.Fatalf("resubmitted module did not hit the cache: %+v", again)
+	}
+
+	// Rejections: bad base64, bad bytes, mutual exclusion, footprint.
+	for _, body := range []string{
+		`{"module":"!!!not-base64"}`,
+		`{"module":"` + base64.StdEncoding.EncodeToString([]byte("garbage")) + `"}`,
+		`{"module":"` + modB64 + `","workload":"CG"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// The rejected counter must have categorized them.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	scrape, err := metrics.Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := scrape.Value("dp_jobs_rejected_total", metrics.L("reason", "decode")); !ok || v < 2 {
+		t.Fatalf("dp_jobs_rejected_total{reason=decode} = %v (ok=%v), want >= 2", v, ok)
+	}
+	if v, ok := scrape.Value("dp_jobs_rejected_total", metrics.L("reason", "spec")); !ok || v < 1 {
+		t.Fatalf("dp_jobs_rejected_total{reason=spec} = %v (ok=%v), want >= 1", v, ok)
+	}
+	if scrape.Types["dp_jobs_rejected_total"] != "counter" {
+		t.Fatalf("dp_jobs_rejected_total declared as %q", scrape.Types["dp_jobs_rejected_total"])
 	}
 }

@@ -1,6 +1,9 @@
 package discopop
 
-import "discopop/internal/ir"
+import (
+	"discopop/internal/ir"
+	"discopop/internal/remote"
+)
 
 // Re-exported IR construction API, so that downstream users can assemble
 // analyzable programs without importing internal packages. The builder
@@ -62,4 +65,16 @@ var (
 
 	// Rnd is a deterministic pseudo-random source.
 	Rnd = ir.Rnd
+)
+
+// Serialized modules: the versioned, deterministic wire format used to
+// ship modules between dp-serve nodes (and accepted by POST /v1/analyze
+// as the "module" body kind). EncodeModule is a pure function of the
+// module structure; DecodeModule validates strictly under default limits
+// and never panics on malformed input.
+var (
+	// EncodeModule serializes a module into the wire format.
+	EncodeModule = remote.Encode
+	// DecodeModule parses a wire-format module under default limits.
+	DecodeModule = remote.Decode
 )

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# scripts/serve-smoke.sh — boot dp-serve on a random port, check /healthz
-# and /metrics, submit one analysis, wait for it, and assert the fleet
-# counters moved. The CI serve-smoke job runs this; it is also the quickest
-# local end-to-end check of the service subsystem.
+# scripts/serve-smoke.sh — two-part end-to-end check of the service
+# subsystem. Part 1 boots a single dp-serve on a random port, checks
+# /healthz and /metrics, submits one analysis, asserts the fleet counters
+# moved, and asserts rejected submissions are counted by reason. Part 2
+# boots a 2-node fleet (worker + coordinator with -peers), submits a
+# batch through the coordinator, and asserts the worker's own job
+# counters advanced (the work really ran remotely). The CI serve-smoke
+# job runs this; it is also the quickest local check of the service.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,6 +64,16 @@ check_pos dp_queue_latency_seconds_count
 grep -q 'dp_stage_seconds_total{stage="profile"}' /tmp/metrics1.txt \
   || fail "no per-stage counter"
 
+# Rejected submissions must be counted by reason: a malformed body and a
+# bad serialized module each land in their category.
+curl -s -XPOST "$BASE/v1/analyze" -d 'this is not json' >/dev/null
+curl -s -XPOST "$BASE/v1/analyze" -d '{"module":"AAAAnotamodule"}' >/dev/null
+curl -sf "$BASE/metrics" > /tmp/metrics2.txt || fail "/metrics scrape failed"
+grep -q 'dp_jobs_rejected_total{reason="body"} 1' /tmp/metrics2.txt \
+  || fail "body rejection not counted"
+grep -q 'dp_jobs_rejected_total{reason="decode"} 1' /tmp/metrics2.txt \
+  || fail "decode rejection not counted"
+
 # Graceful drain: SIGTERM must end the process cleanly.
 kill -TERM "$SRV"
 for _ in $(seq 1 50); do
@@ -70,4 +84,69 @@ kill -0 "$SRV" 2>/dev/null && fail "dp-serve still running after SIGTERM"
 wait "$SRV" 2>/dev/null || true
 grep -q "drained cleanly" "$LOG" || fail "no clean-drain log line"
 trap - EXIT
-echo "serve smoke OK"
+echo "single-node smoke OK"
+
+# ---------------------------------------------------------------------------
+# Part 2: 2-node fleet. A worker plus a coordinator started with -peers;
+# a batch submitted to the coordinator must be analyzed BY THE WORKER,
+# visible in the worker's own dp_jobs_completed_total and the
+# coordinator's per-peer proxy counters.
+
+WLOG="$(mktemp)"; CLOG="$(mktemp)"
+CPID=""  # set once the coordinator boots; the trap must survive set -u before then
+"$BIN" -addr 127.0.0.1:0 -jobs 2 >"$WLOG" 2>&1 &
+WPID=$!
+trap 'kill -TERM $WPID $CPID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+WPORT=""
+for _ in $(seq 1 50); do
+  WPORT=$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$WLOG")
+  [ -n "$WPORT" ] && break
+  sleep 0.1
+done
+[ -n "$WPORT" ] || { echo "worker never reported its port"; cat "$WLOG"; exit 1; }
+
+"$BIN" -addr 127.0.0.1:0 -jobs 2 -peers "http://127.0.0.1:$WPORT" >"$CLOG" 2>&1 &
+CPID=$!
+CPORT=""
+for _ in $(seq 1 50); do
+  CPORT=$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$CLOG")
+  [ -n "$CPORT" ] && break
+  sleep 0.1
+done
+[ -n "$CPORT" ] || { echo "coordinator never reported its port"; cat "$CLOG"; exit 1; }
+WBASE="http://127.0.0.1:$WPORT"; CBASE="http://127.0.0.1:$CPORT"
+echo "fleet up: worker $WBASE, coordinator $CBASE"
+
+ffail() { echo "FAIL: $1"; echo "--- worker"; cat "$WLOG"; echo "--- coordinator"; cat "$CLOG"; exit 1; }
+
+for w in histogram matmul EP; do
+  resp=$(curl -s -XPOST "$CBASE/v1/analyze" -d "{\"workload\":\"$w\"}")
+  id=$(echo "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+  [ -n "$id" ] || ffail "no job id for $w in $resp"
+  job=$(curl -s "$CBASE/v1/jobs/$id?wait=30s")
+  echo "$job" | grep -q '"state":"done"' || ffail "fleet job $w did not finish: $job"
+  echo "$job" | grep -q "\"peer\":\"http://127.0.0.1:$WPORT\"" \
+    || ffail "fleet job $w not attributed to the worker: $job"
+done
+
+# The worker's own counters must account for the batch...
+wjobs=$(curl -s "$WBASE/metrics" | sed -n 's/^dp_jobs_completed_total \([0-9.e+]*\)$/\1/p')
+awk -v v="${wjobs:-0}" 'BEGIN { exit (v >= 3 ? 0 : 1) }' \
+  || ffail "worker completed $wjobs jobs, want >= 3"
+# ...and the coordinator's proxy counters must agree.
+curl -s "$CBASE/metrics" > /tmp/metrics3.txt
+grep -q "dp_peer_jobs_total{peer=\"http://127.0.0.1:$WPORT\"} 3" /tmp/metrics3.txt \
+  || ffail "coordinator per-peer job counter wrong"
+grep -q 'dp_remote_fallbacks_total 0' /tmp/metrics3.txt \
+  || ffail "coordinator fell back locally with a healthy worker"
+
+kill -TERM "$CPID" "$WPID"
+for _ in $(seq 1 50); do
+  kill -0 "$CPID" 2>/dev/null || kill -0 "$WPID" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$CPID" "$WPID" 2>/dev/null || true
+grep -q "drained cleanly" "$CLOG" || ffail "coordinator did not drain cleanly"
+grep -q "drained cleanly" "$WLOG" || ffail "worker did not drain cleanly"
+trap - EXIT
+echo "serve smoke OK (single node + 2-node fleet)"
