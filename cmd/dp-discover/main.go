@@ -15,6 +15,9 @@
 // dp-serve workers instead of being analyzed in-process; the printed
 // ranking comes from the workers' wire reports (CU-graph options like
 // -cus and -dot need the in-process products and are unavailable).
+// Wire reports are summaries: workers send only the positive-score
+// suggestions, capped at 100 best-first, so zero-score rows a local
+// `-v` run would print do not appear with -remote.
 package main
 
 import (

@@ -44,10 +44,21 @@ func (it *Interp) evalArgs(t *thread, call *ir.CallExpr, loc ir.Loc) []argVal {
 
 // callFunc pushes a frame, binds parameters and locals, executes the body,
 // and returns the function's return value.
+// checkBudget aborts the run (as a runtime error) once the configured
+// instruction budget is exhausted. It sits on loop back-edges and
+// function entries — the only places an execution can grow without
+// bound — so straight-line code never pays for it.
+func (it *Interp) checkBudget(loc ir.Loc) {
+	if it.maxInstrs > 0 && it.Instrs > it.maxInstrs {
+		it.panicf("instruction budget of %d exceeded at %s", it.maxInstrs, loc)
+	}
+}
+
 func (it *Interp) callFunc(t *thread, fn *ir.Func, args []argVal, callLoc ir.Loc) float64 {
 	if fn.Body == nil {
 		it.panicf("call to undefined function %s", fn.Name)
 	}
+	it.checkBudget(callLoc)
 	if it.tracer != nil {
 		it.tracer.EnterFunc(fn, callLoc, t.id)
 	}
@@ -257,6 +268,7 @@ func (it *Interp) execFor(t *thread, n *ir.For) bool {
 		if iters > maxIters {
 			it.panicf("loop at %s exceeded max iterations", n.Loc)
 		}
+		it.checkBudget(n.Loc)
 		it.yieldPoint(t)
 		ret = it.execBlock(t, n.Body)
 		if ret {
@@ -297,6 +309,7 @@ func (it *Interp) execWhile(t *thread, n *ir.While) bool {
 		if iters > maxIters {
 			it.panicf("loop at %s exceeded max iterations", n.Loc)
 		}
+		it.checkBudget(n.Loc)
 		it.yieldPoint(t)
 		ret = it.execBlock(t, n.Body)
 		if ret {

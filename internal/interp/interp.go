@@ -177,9 +177,10 @@ type Interp struct {
 	mt       bool // true while spawned threads are live
 	mutexes  map[int]int32
 
-	ts     uint64
-	rng    uint64
-	nextOp int32
+	ts        uint64
+	rng       uint64
+	nextOp    int32
+	maxInstrs int64 // 0 = unbounded
 
 	// Stats
 	Instrs  int64 // total leaf statements executed
@@ -203,6 +204,7 @@ func New(m *ir.Module, t Tracer, opts ...Option) *Interp {
 		globalBase: map[*ir.Var]uint64{},
 		mutexes:    map[int]int32{},
 		rng:        0x2545F4914F6CDD1D,
+		maxInstrs:  cfg.maxInstrs,
 	}
 	// Globals occupy [1, globalsEnd) in declaration order; address 0 is
 	// unused so that 0 can mean "no address". Stack and heap segment

@@ -1,6 +1,8 @@
 package interp
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"discopop/internal/ir"
@@ -67,6 +69,48 @@ func TestWhileLoop(t *testing.T) {
 	})
 	if got != 10 {
 		t.Fatalf("while iterations = %v, want 10", got)
+	}
+}
+
+// TestMaxInstrsBudget pins the execution budget: a structurally tiny
+// module with an effectively infinite loop must abort as a runtime error
+// once the budget is exhausted, and the same budget must not trip a
+// program that finishes under it.
+func TestMaxInstrsBudget(t *testing.T) {
+	build := func() *ir.Module {
+		b := ir.NewBuilder("runaway")
+		out := b.Global("out", ir.F64)
+		fb := b.Func("main")
+		fb.While(ir.Lt(ir.CI(0), ir.CI(1)), func() {
+			fb.Set(out, ir.Add(ir.V(out), ir.CI(1)))
+		})
+		fb.Return(nil)
+		return b.Build(fb.Done())
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("runaway loop must be stopped by the budget")
+			}
+			if !strings.Contains(fmt.Sprint(r), "instruction budget") {
+				t.Fatalf("panic %v is not the budget error", r)
+			}
+		}()
+		New(build(), nil, WithMaxInstrs(10_000)).Run()
+	}()
+	// A bounded program under the same budget runs to completion.
+	b := ir.NewBuilder("bounded")
+	out := b.Global("out", ir.F64)
+	fb := b.Func("main")
+	fb.For("i", ir.CI(0), ir.CI(100), ir.CI(1), func(i *ir.Var) {
+		fb.Set(out, ir.Add(ir.V(out), ir.V(i)))
+	})
+	fb.Return(nil)
+	it := New(b.Build(fb.Done()), nil, WithMaxInstrs(10_000))
+	it.Run()
+	if got := it.space.Load(it.globalBase[out]); got != 4950 {
+		t.Fatalf("budgeted bounded run computed %v, want 4950", got)
 	}
 }
 

@@ -6,8 +6,9 @@ import "discopop/internal/mem"
 type Option func(*config)
 
 type config struct {
-	space *mem.Space
-	pool  *mem.Pool
+	space     *mem.Space
+	pool      *mem.Pool
+	maxInstrs int64
 }
 
 // WithSpace runs the interpreter on a recycled address space instead of
@@ -25,4 +26,13 @@ func WithSpace(s *mem.Space) Option {
 // never an obligation.
 func WithPool(p *mem.Pool) Option {
 	return func(c *config) { c.pool = p }
+}
+
+// WithMaxInstrs aborts the run (as a runtime error, recovered like any
+// interpreter panic) once more than n leaf statements have executed.
+// Zero means unbounded. The check sits on loop back-edges and function
+// entries — the only places an execution can grow without bound — so it
+// costs nothing on straight-line code.
+func WithMaxInstrs(n int64) Option {
+	return func(c *config) { c.maxInstrs = n }
 }

@@ -159,12 +159,12 @@ func (c *ProfileCache) count(hit bool) {
 // lookup returns the memoized profile for (key, opt), running the
 // instrumented execution on mod if this is the first request. The returned
 // hit flag reports whether profiling was skipped.
-func (c *ProfileCache) lookup(key string, opt profiler.Options, mod *ir.Module) (*profileEntry, bool) {
+func (c *ProfileCache) lookup(key string, opt profiler.Options, mod *ir.Module, maxInstrs int64) (*profileEntry, bool) {
 	e := c.entry(profileKey{mod: key, opt: opt})
 	hit := true
 	e.once.Do(func() {
 		hit = false
-		e.run(mod, opt)
+		e.run(mod, opt, maxInstrs)
 	})
 	e.done.Store(true)
 	c.count(hit)
@@ -176,7 +176,7 @@ func (c *ProfileCache) lookup(key string, opt profiler.Options, mod *ir.Module) 
 // cached and uncached analyses cannot diverge). A panicking target program
 // is captured as the entry's error so every job sharing the key fails with
 // the same cause instead of re-panicking half-initialized state.
-func (e *profileEntry) run(mod *ir.Module, opt profiler.Options) {
+func (e *profileEntry) run(mod *ir.Module, opt profiler.Options, maxInstrs int64) {
 	prof := profiler.New(mod, opt)
 	defer func() {
 		if r := recover(); r != nil {
@@ -186,7 +186,7 @@ func (e *profileEntry) run(mod *ir.Module, opt profiler.Options) {
 			e.err = fmt.Errorf("profile cache: target program failed: %v", r)
 		}
 	}()
-	pb, instrs, execTime := execInstrumented(mod, prof, nil)
+	pb, instrs, execTime := execInstrumented(mod, prof, nil, maxInstrs)
 	e.execTime = execTime
 	res := prof.Result()
 	e.mod, e.res, e.tree, e.instrs = mod, res, buildTree(pb, instrs, res), instrs

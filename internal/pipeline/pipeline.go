@@ -71,6 +71,12 @@ type Options struct {
 	// dependence map into a fleet-level sharded accumulator, available
 	// through Engine.FleetDeps and counted in FleetStats.DistinctDeps.
 	CollectFleetDeps bool
+	// MaxInstrs aborts the instrumented execution (as a job error) after
+	// this many leaf statements. 0 = unbounded. Servers set it for
+	// untrusted submissions so a tiny module with an effectively infinite
+	// loop cannot pin an engine worker; it is not part of the profile
+	// cache key, so jobs sharing a CacheKey must share a budget.
+	MaxInstrs int64
 }
 
 // Context carries one job through the stages. Each stage reads the products
@@ -155,15 +161,26 @@ func ProfilePipeline() *Pipeline {
 }
 
 // Run executes the stages in order on ctx, recording per-stage wall time.
-// It stops at the first failing stage.
+// A stage that itself runs a nested pipeline (the remote stage's local
+// fallback) appends the nested entries to ctx.Times; its own entry is
+// charged net of those, so summing ctx.Times never double-counts an
+// interval. It stops at the first failing stage.
 func (p *Pipeline) Run(ctx *Context) error {
 	if ctx.Mod == nil {
 		return errors.New("pipeline: context has no module")
 	}
 	for _, s := range p.Stages {
 		start := time.Now()
+		n := len(ctx.Times)
 		err := s.Run(ctx)
-		ctx.Times = append(ctx.Times, StageTime{Stage: s.Name(), D: time.Since(start)})
+		d := time.Since(start)
+		for _, st := range ctx.Times[n:] {
+			d -= st.D
+		}
+		if d < 0 {
+			d = 0
+		}
+		ctx.Times = append(ctx.Times, StageTime{Stage: s.Name(), D: d})
 		if err != nil {
 			return fmt.Errorf("pipeline: stage %s: %w", s.Name(), err)
 		}
@@ -182,7 +199,7 @@ func (Profile) Name() string { return "profile" }
 // Run implements Stage.
 func (Profile) Run(ctx *Context) error {
 	if c := ctx.Opt.Cache; c != nil && ctx.Opt.CacheKey != "" && len(ctx.Opt.ExtraTracers) == 0 {
-		e, hit := c.lookup(ctx.Opt.CacheKey, ctx.Opt.Profiler, ctx.Mod)
+		e, hit := c.lookup(ctx.Opt.CacheKey, ctx.Opt.Profiler, ctx.Mod, ctx.Opt.MaxInstrs)
 		if e.err != nil {
 			return e.err
 		}
@@ -207,7 +224,7 @@ func (Profile) Run(ctx *Context) error {
 			ctx.Prof.Stop()
 		}
 	}()
-	ctx.PETBuilder, ctx.Instrs, ctx.ExecTime = execInstrumented(ctx.Mod, ctx.Prof, ctx.Opt.ExtraTracers)
+	ctx.PETBuilder, ctx.Instrs, ctx.ExecTime = execInstrumented(ctx.Mod, ctx.Prof, ctx.Opt.ExtraTracers, ctx.Opt.MaxInstrs)
 	ctx.Profile = ctx.Prof.Result()
 	return nil
 }
@@ -217,10 +234,11 @@ func (Profile) Run(ctx *Context) error {
 // by the Profile stage and the ProfileCache. The simulated address space is
 // recycled through the shared arena pool, so batch workers stop paying an
 // arena allocation (and its zeroing) per job.
-func execInstrumented(mod *ir.Module, prof *profiler.Profiler, extra []interp.Tracer) (*pet.Builder, int64, time.Duration) {
+func execInstrumented(mod *ir.Module, prof *profiler.Profiler, extra []interp.Tracer, maxInstrs int64) (*pet.Builder, int64, time.Duration) {
 	pb := pet.NewBuilder()
 	tracers := append([]interp.Tracer{prof, pb}, extra...)
-	in := interp.New(mod, &interp.MultiTracer{Tracers: tracers}, interp.WithPool(mem.Default))
+	in := interp.New(mod, &interp.MultiTracer{Tracers: tracers},
+		interp.WithPool(mem.Default), interp.WithMaxInstrs(maxInstrs))
 	defer in.Release()
 	start := time.Now()
 	instrs := in.Run()

@@ -102,6 +102,33 @@ func TestCustomStageObservesContext(t *testing.T) {
 	}
 }
 
+// TestNestedStageTimesNotDoubleCounted pins the net-of-nested charging:
+// a stage that runs a nested pipeline (the remote stage's local
+// fallback) appends the nested entries itself, and its own entry must
+// cover only its overhead — summing ctx.Times must never count the
+// nested interval twice.
+func TestNestedStageTimesNotDoubleCounted(t *testing.T) {
+	prog := workloads.MustBuild("histogram", 1)
+	outer := &Pipeline{Stages: []Stage{stageFunc{name: "wrapper", f: func(ctx *Context) error {
+		return New().Run(ctx)
+	}}}}
+	ctx := &Context{Mod: prog.M}
+	if err := outer.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	nested := ctx.StageDuration("profile") + ctx.StageDuration("build-pet") +
+		ctx.StageDuration("build-cus") + ctx.StageDuration("discover") + ctx.StageDuration("rank")
+	wrapper := ctx.StageDuration("wrapper")
+	if nested == 0 {
+		t.Fatal("nested stage entries missing")
+	}
+	// The wrapper's own overhead is a few closure calls; if it were
+	// charged the whole interval it would be >= the nested sum.
+	if wrapper >= nested {
+		t.Fatalf("wrapper charged %v, nested stages %v: nested interval double-counted", wrapper, nested)
+	}
+}
+
 type stageFunc struct {
 	name string
 	f    func(*Context) error

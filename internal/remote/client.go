@@ -71,6 +71,20 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string { return fmt.Sprintf("remote: peer %s: %s", e.Peer, e.Msg) }
 
+// jobEvictedError reports a 404/410 answer on a job poll: the worker's
+// bounded jobStore evicted the record before its result was read. The
+// answer is authoritative — the peer is up and serving — but the result
+// is unrecoverable, so the analysis is resubmitted to the next candidate
+// without pushing the evicting peer toward its failure cooldown.
+type jobEvictedError struct {
+	peer string
+	id   string
+}
+
+func (e *jobEvictedError) Error() string {
+	return fmt.Sprintf("remote: peer %s no longer has job %s (record evicted)", e.peer, e.id)
+}
+
 // ClientOptions tunes failover behavior. The zero value is serviceable.
 type ClientOptions struct {
 	// HTTPClient overrides the transport (tests inject httptest clients).
@@ -192,6 +206,21 @@ func NewClient(urls []string, opt ClientOptions) *Client {
 // NumPeers returns how many peers the client is configured with.
 func (c *Client) NumPeers() int { return len(c.peers) }
 
+// Available reports whether at least one peer is outside its failure
+// cooldown — whether AnalyzeBytes could do anything but return
+// ErrNoPeers. Callers use it to skip submission work (module encoding)
+// while the whole fleet is down; it is advisory, racing peers back to
+// health is harmless.
+func (c *Client) Available() bool {
+	now := time.Now()
+	for _, p := range c.peers {
+		if p.healthy(now) {
+			return true
+		}
+	}
+	return false
+}
+
 // Stats snapshots every peer's proxy counters.
 func (c *Client) Stats() []PeerStats {
 	now := time.Now()
@@ -213,7 +242,11 @@ func (c *Client) Stats() []PeerStats {
 // peer up to MaxAttempts, and returns ErrNoPeers when no peer could take
 // the job (the caller falls back to local analysis). A *RemoteError means
 // a peer answered authoritatively — rejected module or failed analysis —
-// and is not retried.
+// and is not retried. A 404/410 on a job poll (the worker's bounded job
+// store evicted the record before the result was read) resubmits to the
+// next peer like a transport failure, but does not count toward the
+// evicting peer's failure cooldown: the peer is up, the result is simply
+// gone.
 func (c *Client) AnalyzeBytes(ctx context.Context, enc []byte, spec Spec) (*WireReport, error) {
 	if len(c.peers) == 0 {
 		return nil, ErrNoPeers
@@ -246,6 +279,15 @@ func (c *Client) AnalyzeBytes(ctx context.Context, enc []byte, spec Spec) (*Wire
 			// An authoritative answer, not a peer fault.
 			p.noteSuccess()
 			return nil, err
+		}
+		var evict *jobEvictedError
+		if errors.As(err, &evict) {
+			// Also authoritative — the worker evicted the job record under
+			// load, not a transport fault — but the result is gone, so the
+			// analysis still has to run somewhere else.
+			p.noteSuccess()
+			lastErr = err
+			continue
 		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -347,6 +389,9 @@ func (c *Client) pollJob(ctx context.Context, p *peer, id string) (*wireJobView,
 	resp.Body.Close()
 	if err != nil {
 		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusGone {
+		return nil, &jobEvictedError{peer: p.url, id: id}
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("peer %s: job poll status %d", p.url, resp.StatusCode)

@@ -32,6 +32,7 @@ type fakePeer struct {
 	//   garbage-poll   accept, then non-JSON poll responses (mid-job)
 	//   reject         400 every submission
 	//   failjob        accept, then report the analysis as failed
+	//   evict          accept, then 404 every poll (jobStore evicted it)
 	mode atomic.Value
 
 	submits atomic.Int64
@@ -75,6 +76,9 @@ func newFakePeer(mode string) *fakePeer {
 			json.NewEncoder(w).Encode(map[string]any{
 				"state": "failed", "error": "interpreter panic: out of range",
 			})
+			return
+		case "evict":
+			http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
 			return
 		}
 		p.done.Add(1)
@@ -189,6 +193,38 @@ func TestFailoverOnGarbageMidJob(t *testing.T) {
 	}
 	if garbled.submits.Load() == 0 {
 		t.Fatal("the garbage peer never saw the submission")
+	}
+}
+
+func TestJobEvictionFailsOverWithoutPenalty(t *testing.T) {
+	evict := newFakePeer("evict")
+	good := newFakePeer("ok")
+	defer evict.ts.Close()
+	defer good.ts.Close()
+
+	// The first peer accepts the job but its bounded jobStore evicts the
+	// record before the poll: the client must resubmit to the next peer,
+	// and — since the 404 is an authoritative answer from a live worker,
+	// not a transport fault — the evicting peer must stay healthy even at
+	// FailThreshold=1.
+	c := remote.NewClient([]string{evict.ts.URL, good.ts.URL}, fastOpts())
+	rep, err := c.AnalyzeBytes(context.Background(), encodedModule(t), remote.Spec{})
+	if err != nil {
+		t.Fatalf("analyze with one evicting peer: %v", err)
+	}
+	if rep.Peer != good.ts.URL {
+		t.Fatalf("report from %s, want the good peer", rep.Peer)
+	}
+	for _, s := range c.Stats() {
+		if s.URL != evict.ts.URL {
+			continue
+		}
+		if s.Failures != 0 {
+			t.Fatalf("eviction counted as %d transport failures", s.Failures)
+		}
+		if !s.Healthy {
+			t.Fatal("evicting peer was pushed into cooldown")
+		}
 	}
 }
 
@@ -326,6 +362,39 @@ func TestAllPeersDownLocalFallback(t *testing.T) {
 	}
 	if bad1.submits.Load() != b1 || bad2.submits.Load() != b2 {
 		t.Fatal("client probed peers that are in cooldown")
+	}
+}
+
+// TestStageCloseAbortsInFlightJob pins the drain path: Close must cancel
+// a remote submission stuck in a long-poll well before the client's
+// JobTimeout, and the aborted job must not start a local fallback
+// analysis nobody is waiting for.
+func TestStageCloseAbortsInFlightJob(t *testing.T) {
+	hang := newFakePeer("hang")
+	defer hang.ts.Close()
+
+	opts := fastOpts()
+	opts.JobTimeout = time.Hour // only Close can unblock the attempt
+	stage := &remote.Stage{Client: remote.NewClient([]string{hang.ts.URL}, opts)}
+	prog, err := workloads.Build("histogram", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &pipeline.Context{Mod: prog.M, Opt: pipeline.Options{Threads: 16}}
+	runErr := make(chan error, 1)
+	go func() { runErr <- stage.Run(ctx) }()
+	time.Sleep(100 * time.Millisecond)
+	stage.Close()
+	select {
+	case err := <-runErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("aborted run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the in-flight long-poll")
+	}
+	if stage.Fallbacks() != 0 || ctx.Profile != nil {
+		t.Fatal("aborted job ran the local fallback")
 	}
 }
 

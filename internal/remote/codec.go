@@ -893,7 +893,7 @@ func (d *decoder) decodeModule() (*ir.Module, error) {
 		return nil, err
 	}
 	d.vars = make([]*ir.Var, nv)
-	var totalElems int64
+	var totalElems uint64
 	for i := range d.vars {
 		v := &ir.Var{ID: i}
 		if v.Name, err = d.str(); err != nil {
@@ -919,12 +919,18 @@ func (d *decoder) decodeModule() (*ir.Module, error) {
 		if err != nil {
 			return nil, err
 		}
-		if elems < 1 || int64(elems) > d.lim.MaxTotalElems {
+		// Compare in uint64 before any signed cast: a wire value >= 2^63
+		// would go negative as int64 and slip past both the per-var and
+		// the running-total caps.
+		if elems < 1 || elems > uint64(d.lim.MaxTotalElems) {
 			return nil, fmt.Errorf("remote: var %s has %d elems", v.Name, elems)
 		}
 		v.Elems = int(elems)
-		totalElems += int64(elems)
-		if totalElems > d.lim.MaxTotalElems {
+		// Each addend is bounded by MaxTotalElems and the sum is checked
+		// every iteration, so totalElems never exceeds 2*MaxTotalElems and
+		// cannot wrap a uint64.
+		totalElems += elems
+		if totalElems > uint64(d.lim.MaxTotalElems) {
 			return nil, fmt.Errorf("remote: module footprint exceeds %d elements", d.lim.MaxTotalElems)
 		}
 		if v.ByValue, err = d.bool(); err != nil {

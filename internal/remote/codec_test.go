@@ -2,6 +2,8 @@ package remote
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"strings"
 	"testing"
 
@@ -206,5 +208,41 @@ func TestDecodeLimits(t *testing.T) {
 	}
 	if _, err := Decode(enc); err != nil {
 		t.Fatalf("default limits rejected a legitimate module: %v", err)
+	}
+}
+
+// TestDecodeElemsOverflow splices an element count >= 2^63 into an
+// otherwise valid encoding. Cast to int64 such a value is negative, so a
+// signed comparison would wave it past both footprint caps and let the
+// interpreter size its address space from an attacker-chosen bound; the
+// decoder must compare in uint64 and reject.
+func TestDecodeElemsOverflow(t *testing.T) {
+	// A sentinel array length whose varint encoding we can find (exactly
+	// once, by construction of the workload) in the encoded stream.
+	const sentinel = 7654321
+	b := ir.NewBuilder("overflow")
+	b.GlobalArray("huge", ir.F64, sentinel)
+	fb := b.Func("main")
+	fb.Return(nil)
+	enc, err := Encode(b.Build(fb.Done()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	pat := buf[:binary.PutUvarint(buf[:], sentinel)]
+	if n := bytes.Count(enc, pat); n != 1 {
+		t.Fatalf("sentinel varint appears %d times in the encoding, want 1", n)
+	}
+	at := bytes.Index(enc, pat)
+	for _, evil := range []uint64{1 << 63, math.MaxUint64} {
+		ev := buf[:binary.PutUvarint(buf[:], evil)]
+		mut := append(append(append([]byte{}, enc[:at]...), ev...), enc[at+len(pat):]...)
+		m, err := Decode(mut)
+		if err == nil {
+			t.Fatalf("elems %d: decode accepted module %v", evil, m.Name)
+		}
+		if !strings.Contains(err.Error(), "elems") {
+			t.Fatalf("elems %d: error %q is not the footprint rejection", evil, err)
+		}
 	}
 }

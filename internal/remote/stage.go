@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"discopop/internal/discovery"
@@ -36,6 +37,12 @@ type Stage struct {
 	Local *pipeline.Pipeline
 
 	fallbacks atomic.Int64
+
+	// mu guards the lazily-created base context every remote submission
+	// runs under; Close cancels it.
+	mu     sync.Mutex
+	ctx    context.Context
+	cancel context.CancelFunc
 }
 
 // Name implements pipeline.Stage.
@@ -45,15 +52,52 @@ func (s *Stage) Name() string { return "remote" }
 // no peer was available.
 func (s *Stage) Fallbacks() int64 { return s.fallbacks.Load() }
 
+// base returns the stage's cancelable base context, creating it on first
+// use. Remote submissions (including their long-polls) run under it, so a
+// coordinator shutting down is not held behind peer jobs for up to the
+// client's JobTimeout.
+func (s *Stage) base() context.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx == nil {
+		s.ctx, s.cancel = context.WithCancel(context.Background())
+	}
+	return s.ctx
+}
+
+// Close aborts every in-flight remote submission and makes future Run
+// calls fail with context.Canceled instead of contacting peers or
+// starting local fallback work. It is idempotent.
+func (s *Stage) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx == nil {
+		s.ctx, s.cancel = context.WithCancel(context.Background())
+	}
+	s.cancel()
+}
+
 // Run implements pipeline.Stage.
 func (s *Stage) Run(ctx *pipeline.Context) error {
+	if !s.Client.Available() {
+		// Every peer is in cooldown: skip the (potentially megabytes of)
+		// module encoding whose bytes AnalyzeBytes would only throw away.
+		s.fallbacks.Add(1)
+		return s.runLocal(ctx)
+	}
 	enc, err := Encode(ctx.Mod)
 	if err != nil {
 		return fmt.Errorf("encode module: %w", err)
 	}
-	rep, err := s.Client.AnalyzeBytes(context.Background(), enc,
-		Spec{Threads: ctx.Opt.Threads, BottomUp: ctx.Opt.BottomUpCUs})
+	base := s.base()
+	rep, err := s.Client.AnalyzeBytes(base,
+		enc, Spec{Threads: ctx.Opt.Threads, BottomUp: ctx.Opt.BottomUpCUs})
 	if err != nil {
+		if base.Err() != nil {
+			// The stage was closed (coordinator shutdown): don't start a
+			// local analysis nobody is waiting for.
+			return base.Err()
+		}
 		var rerr *RemoteError
 		if errors.As(err, &rerr) && !rerr.Rejected {
 			// The analysis ran on the peer and failed; it would fail the

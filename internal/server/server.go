@@ -69,6 +69,9 @@ type Config struct {
 	// Remote tunes the coordinator's peer client (zero value = defaults).
 	// Ignored without Peers.
 	Remote remote.ClientOptions
+	// SubmissionInstrs is the execution budget for inline and serialized
+	// module submissions (0 = maxSubmissionInstrs, negative = unbounded).
+	SubmissionInstrs int64
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +88,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRecords <= 0 {
 		c.MaxRecords = 1024
+	}
+	if c.SubmissionInstrs == 0 {
+		c.SubmissionInstrs = maxSubmissionInstrs
+	} else if c.SubmissionInstrs < 0 {
+		c.SubmissionInstrs = 0 // unbounded, in interp terms
 	}
 	return c
 }
@@ -172,8 +180,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Drain stops accepting submissions, lets every queued and in-flight job
 // finish, and returns once the last result is recorded (or ctx expires).
-// It is idempotent; the HTTP listener should be shut down first (or
-// concurrently) so clients see connection refusals rather than 503s.
+// When ctx expires on a coordinator, in-flight remote submissions are
+// canceled so the abandoned jobs stop long-polling peers in the
+// background. It is idempotent; the HTTP listener should be shut down
+// first (or concurrently) so clients see connection refusals rather than
+// 503s.
 func (s *Server) Drain(ctx context.Context) error {
 	s.submitMu.Lock()
 	if !s.draining.Swap(true) {
@@ -184,6 +195,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-s.done:
 		return nil
 	case <-ctx.Done():
+		if s.proxy != nil {
+			s.proxy.Close()
+		}
 		return fmt.Errorf("server: drain interrupted with jobs still in flight: %w", ctx.Err())
 	}
 }
@@ -263,7 +277,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req analyzeRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	// The body cap must cover a module at the codec's byte limit after
+	// base64 expansion (4/3) plus JSON framing, or the advertised decode
+	// limit is unreachable over the wire.
+	maxBody := int64(remote.DefaultLimits().MaxBytes)*4/3 + 64<<10
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.reject(rejectBody)
@@ -334,6 +352,7 @@ func (s *Server) buildJob(req *analyzeRequest) (pipeline.Job, *jobRecord, string
 		}
 		// Inline modules are arbitrary client input: no cache key, every
 		// submission profiles.
+		opt.MaxInstrs = s.cfg.SubmissionInstrs
 		rec.Workload = "inline:" + name
 		rec.ID = s.jobs.nextID()
 		return pipeline.Job{Name: rec.ID, Mod: mod, Opt: &opt}, rec, "", nil
@@ -347,6 +366,7 @@ func (s *Server) buildJob(req *analyzeRequest) (pipeline.Job, *jobRecord, string
 		if err != nil {
 			return pipeline.Job{}, nil, rejectDecode, err
 		}
+		opt.MaxInstrs = s.cfg.SubmissionInstrs
 		// The codec is deterministic, so the payload hash is a
 		// content-addressed cache key: resubmitting the same module (a
 		// coordinator fanning a batch out repeatedly) skips re-profiling
@@ -380,6 +400,14 @@ func (s *Server) buildJob(req *analyzeRequest) (pipeline.Job, *jobRecord, string
 // arbitrarily large arena and hold a worker for hours (the inline path has
 // the same guard via its per-kernel N bound).
 const maxWorkloadScale = 64
+
+// maxSubmissionInstrs is the execution budget for inline and serialized
+// module submissions. The decode limits bound only memory and structure,
+// not work: a few-hundred-byte module can still hold an effectively
+// infinite loop, so arbitrary client programs get an instruction budget
+// (generous — an order of magnitude above the largest capped workload)
+// where registry workloads, bounded by maxWorkloadScale, run unbudgeted.
+const maxSubmissionInstrs = 64 << 20
 
 // parseWorkloadSpec splits "name@scale"; an explicit suffix wins over the
 // request's scale field. A scale of 0 means the default (1); malformed

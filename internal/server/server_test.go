@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"discopop/internal/ir"
 	"discopop/internal/metrics"
 	"discopop/internal/remote"
 	"discopop/internal/workloads"
@@ -386,6 +387,34 @@ func TestRequestValidation(t *testing.T) {
 	}
 }
 
+// TestAnalyzeBodyCapCoversCodecLimit pins the transport cap to the codec
+// limit: a module submission well over 1MB must reach the module decoder
+// (and be rejected there for its content) rather than dying at
+// MaxBytesReader — otherwise the codec's advertised MaxBytes is
+// unreachable over the wire and coordinators silently degrade to local
+// analysis for larger modules.
+func TestAnalyzeBodyCapCoversCodecLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	big := base64.StdEncoding.EncodeToString(bytes.Repeat([]byte{0xAB}, 2<<20))
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json",
+		strings.NewReader(`{"module":"`+big+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("2MB garbage module: status %d, want 400", resp.StatusCode)
+	}
+	if strings.Contains(buf.String(), "request body too large") {
+		t.Fatalf("2MB module rejected by the body cap, not the decoder: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "bad magic") {
+		t.Fatalf("want a codec rejection, got: %s", buf.String())
+	}
+}
+
 func TestWorkloadSpecParsing(t *testing.T) {
 	for _, tc := range []struct {
 		spec      string
@@ -518,6 +547,36 @@ func TestJobRecordEviction(t *testing.T) {
 		if _, ok := js.get(rec.ID); !ok {
 			t.Errorf("queued record %s evicted", rec.ID)
 		}
+	}
+}
+
+// TestRunawayModuleBudget submits a structurally tiny serialized module
+// whose main loops effectively forever: the decode limits cannot reject
+// it (memory and node counts are minimal), so the submission-side
+// instruction budget must fail the job instead of pinning an engine
+// worker until the interpreter's 2^40-iteration backstop.
+func TestRunawayModuleBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, SubmissionInstrs: 50_000})
+
+	b := ir.NewBuilder("runaway")
+	out := b.Global("out", ir.F64)
+	fb := b.Func("main")
+	fb.While(ir.Lt(ir.CI(0), ir.CI(1)), func() {
+		fb.Set(out, ir.Add(ir.V(out), ir.CI(1)))
+	})
+	fb.Return(nil)
+	enc, err := remote.Encode(b.Build(fb.Done()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := postAnalyze(t, ts.URL,
+		fmt.Sprintf(`{"module":%q}`, base64.StdEncoding.EncodeToString(enc)))
+	v := waitJob(t, ts.URL, id)
+	if v.State != jobFailed {
+		t.Fatalf("runaway module ended %q, want failed", v.State)
+	}
+	if !strings.Contains(v.Error, "instruction budget") {
+		t.Fatalf("failure %q is not the budget abort", v.Error)
 	}
 }
 
