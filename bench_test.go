@@ -217,6 +217,19 @@ func BenchmarkProfilerThroughput(b *testing.B) {
 	b.ReportMetric(float64(accesses), "accesses")
 }
 
+// BenchmarkProfilerThroughputTreeWalk is the engine ablation of
+// BenchmarkProfilerThroughput: the identical instrumented run on the
+// reference tree walker. The pair isolates the bytecode VM's effect on
+// the traced path on one machine, where the cross-machine BENCH_*.json
+// baselines cannot.
+func BenchmarkProfilerThroughputTreeWalk(b *testing.B) {
+	prog := workloads.MustBuild("CG", benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profiler.Profile(prog.M, profiler.Options{Store: profiler.StorePerfect, TreeWalk: true})
+	}
+}
+
 // BenchmarkProfilerThroughputParallel measures the 4-worker pipeline on
 // the same workload — together with BenchmarkProfilerThroughput it tracks
 // the hot-path cost of per-access bookkeeping (line counting is a dense
@@ -268,6 +281,17 @@ func BenchmarkInterpNative(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		interp.New(prog.M, nil).Run()
+	}
+}
+
+// BenchmarkInterpNativeTreeWalk measures the reference tree-walking
+// engine on the same workload — the ablation for the bytecode VM
+// (BenchmarkInterpNative runs the VM by default).
+func BenchmarkInterpNativeTreeWalk(b *testing.B) {
+	prog := workloads.MustBuild("CG", benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		interp.New(prog.M, nil, interp.WithTreeWalk()).Run()
 	}
 }
 

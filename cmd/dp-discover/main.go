@@ -46,6 +46,7 @@ func main() {
 		dot      = flag.String("dot", "", "write the CU graph in Graphviz format (raw|clustered)")
 		verbose  = flag.Bool("v", false, "print blocking dependences per loop")
 		remotes  = flag.String("remote", "", "comma-separated dp-serve worker URLs; analyze on the fleet")
+		noBC     = flag.Bool("no-bytecode", false, "run targets on the reference tree-walking engine instead of the bytecode VM")
 	)
 	flag.Parse()
 	if *workload == "" {
@@ -74,6 +75,7 @@ func main() {
 		BottomUpCUs:  *bottomUp,
 		BatchWorkers: *jobs,
 	}
+	opt.Profiler.TreeWalk = *noBC
 	var results []*pipeline.JobResult
 	var fleet pipeline.FleetStats
 	if *remotes != "" {

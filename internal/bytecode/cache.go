@@ -1,0 +1,127 @@
+package bytecode
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"discopop/internal/ir"
+)
+
+// Cache memoizes compiled Programs, keyed by module content-hash. It sits
+// alongside pipeline.ProfileCache in the service stack but one level
+// lower: the profile cache memoizes whole instrumented runs per (cache
+// key, options) pair, while this cache memoizes the compilation itself, so
+// content-identical modules arriving under different job keys (rebuilt
+// workloads, repeated inline submissions, different thread configs) still
+// compile exactly once.
+//
+// Concurrent misses on one hash coalesce through a per-entry sync.Once:
+// the first caller compiles, the rest block until the Program is ready.
+// The cache is LRU-bounded; in-flight entries are never evicted (a caller
+// is blocked on their once), mirroring the profile cache's discipline.
+type Cache struct {
+	mu  sync.Mutex
+	max int
+	m   map[[32]byte]*list.Element
+	lru list.List // front = most recently used; values are *cacheEntry
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key  [32]byte
+	once sync.Once
+	done bool
+
+	prog *Program
+	dur  time.Duration
+}
+
+// DefaultCacheEntries bounds the shared compile cache: far above the
+// bundled workload registry, small enough that a long-lived engine holds a
+// bounded set of compiled programs.
+const DefaultCacheEntries = 256
+
+// Shared is the process-wide compile cache used by interp.New unless a
+// program or the tree walker is selected explicitly.
+var Shared = NewCache(DefaultCacheEntries)
+
+// NewCache returns an empty cache evicting least-recently-used completed
+// entries beyond max (0 = unbounded).
+func NewCache(max int) *Cache {
+	return &Cache{max: max, m: make(map[[32]byte]*list.Element)}
+}
+
+// Get returns the compiled program for m, compiling it on first sight. The
+// hit flag reports whether compilation was skipped; dur is the compile
+// time actually spent by this call (zero on a hit).
+func (c *Cache) Get(m *ir.Module) (prog *Program, hit bool, dur time.Duration) {
+	e := c.entry(ModuleHash(m))
+	hit = true
+	e.once.Do(func() {
+		hit = false
+		start := time.Now()
+		e.prog = Compile(m)
+		e.dur = time.Since(start)
+	})
+	c.finish(e, hit)
+	if !hit {
+		dur = e.dur
+	}
+	return e.prog, hit, dur
+}
+
+func (c *Cache) entry(key [32]byte) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry)
+	}
+	e := &cacheEntry{key: key}
+	c.m[key] = c.lru.PushFront(e)
+	for c.max > 0 && c.lru.Len() > c.max {
+		evicted := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			slot := el.Value.(*cacheEntry)
+			if !slot.done {
+				continue
+			}
+			delete(c.m, slot.key)
+			c.lru.Remove(el)
+			c.evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			break
+		}
+	}
+	return e
+}
+
+func (c *Cache) finish(e *cacheEntry, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.done = true
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+}
+
+// Stats returns the hit/miss counters and the live entry count.
+func (c *Cache) Stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.m)
+}
+
+// Evictions returns the number of entries dropped by the LRU bound.
+func (c *Cache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

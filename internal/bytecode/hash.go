@@ -1,0 +1,280 @@
+package bytecode
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+
+	"discopop/internal/ir"
+)
+
+// ModuleHash returns the module's structural content hash, memoized on the
+// module instance (ir.Module.ContentHash). The hash covers everything that
+// affects a compiled program and its event stream — the variable, region,
+// and function tables, every statement and expression, and every source
+// location — so two instances hashing equal are interchangeable under one
+// compiled Program. It deliberately walks structures (a deterministic
+// domain-specific serialization) rather than reusing the wire codec, so
+// hashing allocates nothing beyond the hasher.
+func ModuleHash(m *ir.Module) [32]byte {
+	return m.ContentHash(hashModule)
+}
+
+func hashModule(m *ir.Module) [32]byte {
+	h := &hasher{h: sha256.New()}
+	h.str(m.Name)
+	h.i64(int64(len(m.Files)))
+	for _, f := range m.Files {
+		h.str(f)
+	}
+	h.i64(int64(len(m.Vars)))
+	for _, v := range m.Vars {
+		h.hashVar(v)
+	}
+	h.i64(int64(len(m.Regions)))
+	for _, r := range m.Regions {
+		h.i64(int64(r.ID))
+		h.u8(uint8(r.Kind))
+		h.loc(r.Start)
+		h.loc(r.End)
+		h.i64(regionID(r.Parent))
+		h.i64(funcID(r.Func))
+	}
+	h.i64(int64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		h.i64(int64(f.ID))
+		h.str(f.Name)
+		h.i64(int64(len(f.Params)))
+		for _, p := range f.Params {
+			h.i64(int64(p.ID))
+		}
+		h.bool(f.HasRet)
+		h.u8(uint8(f.RetTyp))
+		h.loc(f.Loc)
+		h.loc(f.EndLoc)
+		h.i64(regionID(f.Region))
+		h.i64(int64(len(f.Locals)))
+		for _, v := range f.Locals {
+			h.i64(int64(v.ID))
+		}
+		h.bool(f.Body != nil)
+		if f.Body != nil {
+			h.stmt(f.Body)
+		}
+	}
+	h.i64(funcID(m.Main))
+	var out [32]byte
+	h.h.Sum(out[:0])
+	return out
+}
+
+func regionID(r *ir.Region) int64 {
+	if r == nil {
+		return -1
+	}
+	return int64(r.ID)
+}
+
+func funcID(f *ir.Func) int64 {
+	if f == nil {
+		return -1
+	}
+	return int64(f.ID)
+}
+
+type hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (h *hasher) u8(b uint8) {
+	h.buf[0] = b
+	h.h.Write(h.buf[:1])
+}
+
+func (h *hasher) i64(x int64) {
+	binary.LittleEndian.PutUint64(h.buf[:], uint64(x))
+	h.h.Write(h.buf[:])
+}
+
+func (h *hasher) f64(x float64) {
+	binary.LittleEndian.PutUint64(h.buf[:], math.Float64bits(x))
+	h.h.Write(h.buf[:])
+}
+
+func (h *hasher) bool(b bool) {
+	if b {
+		h.u8(1)
+	} else {
+		h.u8(0)
+	}
+}
+
+func (h *hasher) str(s string) {
+	h.i64(int64(len(s)))
+	h.h.Write([]byte(s))
+}
+
+func (h *hasher) loc(l ir.Loc) {
+	h.i64(int64(l.File))
+	h.i64(int64(l.Line))
+}
+
+func (h *hasher) hashVar(v *ir.Var) {
+	h.i64(int64(v.ID))
+	h.str(v.Name)
+	h.u8(uint8(v.Kind))
+	h.u8(uint8(v.Type))
+	h.i64(int64(v.Elems))
+	h.bool(v.ByValue)
+	h.bool(v.Heap)
+	h.loc(v.Decl)
+	h.i64(regionID(v.DeclRegion))
+	h.i64(funcID(v.Func))
+}
+
+// Statement/expression tags; appended before each node so that different
+// shapes can never collide by field-concatenation.
+const (
+	tAssign uint8 = iota + 1
+	tBlock
+	tIf
+	tFor
+	tWhile
+	tCallStmt
+	tReturn
+	tSpawn
+	tSync
+	tLock
+	tFree
+	tConst
+	tRef
+	tBin
+	tUn
+	tRand
+	tCallExpr
+	tNil
+)
+
+func (h *hasher) stmt(s ir.Stmt) {
+	switch n := s.(type) {
+	case *ir.Assign:
+		h.u8(tAssign)
+		h.loc(n.Loc)
+		h.expr(n.Dst)
+		h.expr(n.Src)
+	case *ir.BlockStmt:
+		h.u8(tBlock)
+		h.loc(n.Loc)
+		h.i64(int64(len(n.Decls)))
+		for _, v := range n.Decls {
+			h.i64(int64(v.ID))
+		}
+		h.i64(int64(len(n.List)))
+		for _, c := range n.List {
+			h.stmt(c)
+		}
+	case *ir.If:
+		h.u8(tIf)
+		h.loc(n.Loc)
+		h.expr(n.Cond)
+		h.stmt(n.Then)
+		if n.Else != nil {
+			h.stmt(n.Else)
+		} else {
+			h.u8(tNil)
+		}
+		h.i64(regionID(n.Region))
+	case *ir.For:
+		h.u8(tFor)
+		h.loc(n.Loc)
+		h.loc(n.EndLoc)
+		h.i64(int64(n.IndVar.ID))
+		h.expr(n.From)
+		h.expr(n.To)
+		h.expr(n.Step)
+		h.stmt(n.Body)
+		h.i64(regionID(n.Region))
+	case *ir.While:
+		h.u8(tWhile)
+		h.loc(n.Loc)
+		h.loc(n.EndLoc)
+		h.expr(n.Cond)
+		h.stmt(n.Body)
+		h.i64(regionID(n.Region))
+	case *ir.CallStmt:
+		h.u8(tCallStmt)
+		h.loc(n.Loc)
+		h.expr(n.Call)
+	case *ir.Return:
+		h.u8(tReturn)
+		h.loc(n.Loc)
+		if n.Val != nil {
+			h.expr(n.Val)
+		} else {
+			h.u8(tNil)
+		}
+	case *ir.Spawn:
+		h.u8(tSpawn)
+		h.loc(n.Loc)
+		h.expr(n.Call)
+	case *ir.Sync:
+		h.u8(tSync)
+		h.loc(n.Loc)
+	case *ir.LockRegion:
+		h.u8(tLock)
+		h.loc(n.Loc)
+		h.i64(int64(n.MutexID))
+		h.stmt(n.Body)
+	case *ir.Free:
+		h.u8(tFree)
+		h.loc(n.Loc)
+		h.i64(int64(n.Var.ID))
+	default:
+		panic("bytecode: unknown statement in module hash")
+	}
+}
+
+func (h *hasher) expr(e ir.Expr) {
+	switch n := e.(type) {
+	case *ir.Const:
+		h.u8(tConst)
+		h.loc(n.Loc)
+		h.f64(n.Val)
+		h.u8(uint8(n.Typ))
+	case *ir.Ref:
+		h.u8(tRef)
+		h.loc(n.Loc)
+		h.i64(int64(n.Var.ID))
+		if n.Index != nil {
+			h.expr(n.Index)
+		} else {
+			h.u8(tNil)
+		}
+	case *ir.Bin:
+		h.u8(tBin)
+		h.loc(n.Loc)
+		h.u8(uint8(n.Op))
+		h.expr(n.L)
+		h.expr(n.R)
+	case *ir.Un:
+		h.u8(tUn)
+		h.loc(n.Loc)
+		h.u8(uint8(n.Op))
+		h.expr(n.X)
+	case *ir.Rand:
+		h.u8(tRand)
+		h.loc(n.Loc)
+	case *ir.CallExpr:
+		h.u8(tCallExpr)
+		h.loc(n.Loc)
+		h.i64(funcID(n.Callee))
+		h.i64(int64(len(n.Args)))
+		for _, a := range n.Args {
+			h.expr(a)
+		}
+	default:
+		panic("bytecode: unknown expression in module hash")
+	}
+}

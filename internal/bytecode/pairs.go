@@ -1,0 +1,54 @@
+package bytecode
+
+import "sort"
+
+// PairStats accumulates dynamic opcode-pair frequencies: Counts[a<<8|b] is
+// the number of times opcode b executed immediately after opcode a on one
+// thread's dispatch path. The interpreter fills it in when constructed
+// with interp.WithPairStats; the resulting ranking across the workload
+// registry is what selected the superinstruction set (see the "Bytecode
+// VM" section of DESIGN.md).
+type PairStats struct {
+	Counts [256 * 256]int64
+}
+
+// PairCount is one ranked entry of a PairStats report.
+type PairCount struct {
+	First, Second Opcode
+	Count         int64
+}
+
+// Add merges other into s.
+func (s *PairStats) Add(other *PairStats) {
+	for i, n := range other.Counts {
+		s.Counts[i] += n
+	}
+}
+
+// Total returns the total number of recorded pairs.
+func (s *PairStats) Total() int64 {
+	var t int64
+	for _, n := range s.Counts {
+		t += n
+	}
+	return t
+}
+
+// Top returns the n most frequent pairs, most frequent first.
+func (s *PairStats) Top(n int) []PairCount {
+	var out []PairCount
+	for i, c := range s.Counts {
+		if c > 0 {
+			out = append(out, PairCount{
+				First:  Opcode(i >> 8),
+				Second: Opcode(i & 0xff),
+				Count:  c,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -12,7 +12,9 @@ package interp
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"discopop/internal/bytecode"
 	"discopop/internal/ir"
 	"discopop/internal/mem"
 )
@@ -116,46 +118,7 @@ const maxIters = int64(1) << 40
 // same module may be reading. Loop headers use dedicated negative IDs
 // derived from their region, handled by the interpreter directly.
 func PrepareOps(m *ir.Module) int32 {
-	return m.NumberOps(numberOps)
-}
-
-func numberOps(m *ir.Module) int32 {
-	var next int32
-	assign := func(e ir.Expr) {
-		ir.WalkExprs(e, func(x ir.Expr) {
-			if r, ok := x.(*ir.Ref); ok {
-				next++
-				r.Op = next
-			}
-		})
-	}
-	for _, f := range m.Funcs {
-		if f.Body == nil {
-			continue
-		}
-		// By-value parameter binding emits one store per call; give each
-		// parameter its own operation identity so those stores do not
-		// alias one shared op slot across functions.
-		for _, p := range f.Params {
-			if p.ByValue {
-				next++
-				p.ParamOp = next
-			}
-		}
-		ir.Walk(f.Body, func(s ir.Stmt) {
-			if a, ok := s.(*ir.Assign); ok {
-				next++
-				a.Dst.Op = next
-				if a.Dst.Index != nil {
-					assign(a.Dst.Index)
-				}
-				assign(a.Src)
-				return
-			}
-			ir.StmtExprs(s, assign)
-		})
-	}
-	return next
+	return m.NumberOps(ir.NumberStaticOps)
 }
 
 // Interp executes one module. Create with New, run with Run. An Interp is
@@ -173,6 +136,7 @@ type Interp struct {
 	mainT    *thread
 	spawned  []*thread
 	nextTID  int32
+	freeTIDs []int32 // dead thread IDs available for reuse (LIFO)
 	nthreads int
 	mt       bool // true while spawned threads are live
 	mutexes  map[int]int32
@@ -182,11 +146,20 @@ type Interp struct {
 	nextOp    int32
 	maxInstrs int64 // 0 = unbounded
 
+	prog      *bytecode.Program // nil under WithTreeWalk
+	pairStats *bytecode.PairStats
+
 	// Stats
 	Instrs  int64 // total leaf statements executed
 	Loads   int64
 	Stores  int64
 	MaxHeap uint64
+
+	// CompileTime is the bytecode compilation time spent by New (zero on a
+	// compile-cache hit or under WithTreeWalk/WithProgram); CompileHit
+	// reports whether the shared cache already held the program.
+	CompileTime time.Duration
+	CompileHit  bool
 }
 
 // New creates an interpreter for module m reporting events to t (nil for an
@@ -230,6 +203,21 @@ func New(m *ir.Module, t Tracer, opts ...Option) *Interp {
 		it.space = mem.NewSpace(it.layout)
 	}
 	it.nextOp = PrepareOps(m)
+	if !cfg.treeWalk {
+		switch {
+		case cfg.prog != nil:
+			it.prog = cfg.prog
+		default:
+			prog, hit, dur := bytecode.Shared.Get(m)
+			it.prog = prog
+			it.CompileHit = hit
+			it.CompileTime = dur
+		}
+		if it.prog.GlobalsEnd != next {
+			panic("interp: compiled program does not match the module's global layout")
+		}
+		it.pairStats = cfg.pairStats
+	}
 	return it
 }
 
@@ -392,6 +380,25 @@ func b2f(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// binHot evaluates the arithmetic operators that dominate dynamic op
+// frequency, shaped to inline into the VM dispatch loop; everything else
+// reports false and takes the full binEval switch.
+func binHot(op ir.BinOp, l, r float64) (float64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return l + r, true
+	case ir.OpSub:
+		return l - r, true
+	case ir.OpMul:
+		return l * r, true
+	case ir.OpLt:
+		return b2f(l < r), true
+	case ir.OpLe:
+		return b2f(l <= r), true
+	}
+	return 0, false
 }
 
 func binEval(op ir.BinOp, l, r float64) float64 {

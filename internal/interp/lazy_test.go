@@ -44,13 +44,18 @@ func TestSingleThreadedMaterializesOneStack(t *testing.T) {
 	}
 }
 
-// TestSpawnedThreadsMaterializeTheirStacks: each simulated thread's first
-// stack touch materializes its own segment — and only those.
+// TestSpawnedThreadsMaterializeTheirStacks: each concurrently live
+// simulated thread's first stack touch materializes its own segment — and
+// only those. The workers run long enough that all three are live at
+// once; dead threads' IDs (and segments) are recycled, so trivially short
+// workers may share a segment (see TestThreadIDRecycling).
 func TestSpawnedThreadsMaterializeTheirStacks(t *testing.T) {
 	b := ir.NewBuilder("mtlazy")
 	w := b.Func("worker")
 	x := w.Local("x", ir.F64)
-	w.Set(x, ir.CI(1))
+	w.For("i", ir.CI(0), ir.CI(8), ir.CI(1), func(i *ir.Var) {
+		w.Set(x, ir.Add(ir.V(x), ir.CI(1)))
+	})
 	wf := w.Done()
 	mb := b.Func("main")
 	mb.Spawn(wf)

@@ -1,6 +1,9 @@
 package interp
 
-import "discopop/internal/mem"
+import (
+	"discopop/internal/bytecode"
+	"discopop/internal/mem"
+)
 
 // Option configures an interpreter at construction.
 type Option func(*config)
@@ -9,6 +12,9 @@ type config struct {
 	space     *mem.Space
 	pool      *mem.Pool
 	maxInstrs int64
+	treeWalk  bool
+	prog      *bytecode.Program
+	pairStats *bytecode.PairStats
 }
 
 // WithSpace runs the interpreter on a recycled address space instead of
@@ -32,7 +38,31 @@ func WithPool(p *mem.Pool) Option {
 // interpreter panic) once more than n leaf statements have executed.
 // Zero means unbounded. The check sits on loop back-edges and function
 // entries — the only places an execution can grow without bound — so it
-// costs nothing on straight-line code.
+// costs nothing on straight-line code. Both engines count leaf statements
+// identically, so the budget fires at the same point regardless of engine.
 func WithMaxInstrs(n int64) Option {
 	return func(c *config) { c.maxInstrs = n }
+}
+
+// WithTreeWalk selects the reference tree-walking engine instead of the
+// bytecode VM. The engines are observationally identical (same events,
+// same counters, same panics — enforced by the differential test suite);
+// the walker remains as the executable specification and a debugging aid.
+func WithTreeWalk() Option {
+	return func(c *config) { c.treeWalk = true }
+}
+
+// WithProgram runs a pre-compiled bytecode program instead of consulting
+// the shared compile cache. The program must have been compiled from a
+// module with the same global layout; New panics on a mismatch.
+func WithProgram(p *bytecode.Program) Option {
+	return func(c *config) { c.prog = p }
+}
+
+// WithPairStats records dynamic opcode-pair frequencies into s while the
+// VM runs (the measurement behind superinstruction selection; see
+// DESIGN.md). It costs a few percent of dispatch throughput, so it is a
+// profiling-only option.
+func WithPairStats(s *bytecode.PairStats) Option {
+	return func(c *config) { c.pairStats = s }
 }

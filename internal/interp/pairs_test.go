@@ -1,0 +1,39 @@
+package interp
+
+import (
+	"testing"
+
+	"discopop/internal/bytecode"
+	"discopop/internal/workloads"
+)
+
+// TestPairStatsMeasurement exercises the dynamic op-pair profiler that
+// drove the superinstruction selection (see DESIGN.md): running the
+// registry with WithPairStats accumulates the executed opcode-pair
+// frequencies, ranked by Top. The test pins the facility's contract —
+// counts accumulate across workloads, the ranking is non-increasing —
+// and logs the current top pairs so a rerun after ISA changes shows
+// whether the fusion table still matches the dynamic mix.
+func TestPairStatsMeasurement(t *testing.T) {
+	var stats bytecode.PairStats
+	for _, name := range []string{"CG", "EP", "kmeans", "mandelbrot", "gzip", "md5-mt"} {
+		m := workloads.MustBuild(name, 1).M
+		it := New(m, nil, WithPairStats(&stats))
+		it.Run()
+	}
+	if stats.Total() == 0 {
+		t.Fatal("WithPairStats recorded nothing across six workloads")
+	}
+	top := stats.Top(10)
+	if len(top) == 0 {
+		t.Fatal("Top(10) is empty with a non-zero total")
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatalf("Top ranking not sorted: %+v before %+v", top[i-1], top[i])
+		}
+	}
+	for _, pc := range top {
+		t.Logf("%-12v -> %-12v %d", pc.First, pc.Second, pc.Count)
+	}
+}

@@ -34,6 +34,14 @@ type thread struct {
 	blocked  func() bool // non-nil while waiting; true when runnable again
 	children int
 	parentT  *thread
+
+	// Bytecode-engine state (nil/empty under the tree walker): the value
+	// stack, the frame-slot stack holding each activation's variable base
+	// addresses, and the open loop/branch/lock control regions.
+	vstack []float64
+	vsp    int
+	slots  []uint64
+	ctrl   []vmCtrl
 }
 
 func (t *thread) top() *frame { return t.frames[len(t.frames)-1] }
@@ -126,24 +134,45 @@ func (it *Interp) block(t *thread, cond func() bool) {
 	}
 }
 
-// startSpawned launches a new simulated thread executing call. The
-// arguments are evaluated by the parent, so their reads are attributed to
-// the spawning thread, as with pthread_create argument marshalling.
-func (it *Interp) startSpawned(parent *thread, call *ir.CallExpr, loc ir.Loc) {
-	args := it.evalArgs(parent, call, loc)
+// allocTID returns a thread ID, preferring the free list so that dead
+// threads' IDs — and with them their address-space stack segments, which
+// are derived from the ID — get recycled. The MaxThreads bound therefore
+// limits *live* threads, not total spawns, and the number of materialized
+// stack pages is bounded by the peak live-thread count.
+func (it *Interp) allocTID() int32 {
+	if n := len(it.freeTIDs); n > 0 {
+		id := it.freeTIDs[n-1]
+		it.freeTIDs = it.freeTIDs[:n-1]
+		return id
+	}
 	id := it.nextTID
 	it.nextTID++
 	if id >= MaxThreads {
 		it.panicf("too many threads (max %d)", MaxThreads)
 	}
-	child := it.newThread(id, parent.id)
+	return id
+}
+
+// startSpawned launches a new simulated thread executing call. The
+// arguments are evaluated by the parent, so their reads are attributed to
+// the spawning thread, as with pthread_create argument marshalling.
+func (it *Interp) startSpawned(parent *thread, call *ir.CallExpr, loc ir.Loc) {
+	args := it.evalArgs(parent, call, loc)
+	it.spawnThread(parent, call.Callee, args)
+}
+
+// spawnThread registers and starts a child thread running fn(args); the
+// arguments are already evaluated (by the walker's evalArgs or the VM's
+// compiled argument code).
+func (it *Interp) spawnThread(parent *thread, fn *ir.Func, args []argVal) {
+	child := it.newThread(it.allocTID(), parent.id)
 	child.parentT = parent
 	parent.children++
 	it.mt = true
 	it.spawned = append(it.spawned, child)
 	go func() {
 		<-child.resume
-		it.execThread(child, call.Callee, args)
+		it.execThread(child, fn, args)
 		child.yield <- struct{}{}
 	}()
 }
@@ -154,7 +183,11 @@ func (it *Interp) execThread(t *thread, fn *ir.Func, args []argVal) {
 	if it.tracer != nil {
 		it.tracer.ThreadStart(t.id, t.parent)
 	}
-	it.callFunc(t, fn, args, fn.Loc)
+	if it.prog != nil {
+		it.vmCall(t, int32(fn.ID), args, fn.Loc)
+	} else {
+		it.callFunc(t, fn, args, fn.Loc)
+	}
 	t.done = true
 	it.nthreads--
 	if t.parentT != nil {
@@ -162,5 +195,10 @@ func (it *Interp) execThread(t *thread, fn *ir.Func, args []argVal) {
 	}
 	if it.tracer != nil {
 		it.tracer.ThreadEnd(t.id)
+	}
+	// The thread is dead; its ID (and stack segment) can be reused by the
+	// next spawn. ID 0 is the main thread and never recycles.
+	if t.id != 0 {
+		it.freeTIDs = append(it.freeTIDs, t.id)
 	}
 }

@@ -202,6 +202,13 @@ type Module struct {
 	// concurrent analyses of the same module may be reading.
 	opsOnce sync.Once
 	numOps  int32
+
+	// hashOnce guards the one-time structural content hash (see
+	// ContentHash). The hash keys the bytecode compile cache: two module
+	// instances built from the same workload spec hash identically, so a
+	// program compiled for one replays on the other.
+	hashOnce sync.Once
+	hash     [32]byte
 }
 
 // NumberOps runs the static memory-operation numbering exactly once per
@@ -211,6 +218,15 @@ type Module struct {
 func (m *Module) NumberOps(number func(*Module) int32) int32 {
 	m.opsOnce.Do(func() { m.numOps = number(m) })
 	return m.numOps
+}
+
+// ContentHash computes the module's structural content hash exactly once
+// per instance (synchronized) and returns the recorded digest on every
+// call. The hash function must be deterministic and must cover everything
+// that affects execution; bytecode.ModuleHash is the canonical caller.
+func (m *Module) ContentHash(hash func(*Module) [32]byte) [32]byte {
+	m.hashOnce.Do(func() { m.hash = hash(m) })
+	return m.hash
 }
 
 // FuncByName returns the function with the given name, or nil.

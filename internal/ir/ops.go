@@ -1,0 +1,51 @@
+package ir
+
+// NumberStaticOps assigns static memory-operation IDs (Section 2.4's
+// accessInfo identities) to every Ref of the module and returns the number
+// of operations. It is the canonical numbering function passed to
+// Module.NumberOps: both the tree-walking interpreter (interp.PrepareOps)
+// and the bytecode compiler depend on the same deterministic assignment, so
+// a program compiled from one module instance replays correctly on any
+// content-identical instance.
+//
+// Loop headers use dedicated negative IDs derived from their region
+// (-4*regionID-1 .. -4*regionID-4 for init/test/increment-load/increment-
+// store), assigned implicitly by the execution engines.
+func NumberStaticOps(m *Module) int32 {
+	var next int32
+	assign := func(e Expr) {
+		WalkExprs(e, func(x Expr) {
+			if r, ok := x.(*Ref); ok {
+				next++
+				r.Op = next
+			}
+		})
+	}
+	for _, f := range m.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		// By-value parameter binding emits one store per call; give each
+		// parameter its own operation identity so those stores do not
+		// alias one shared op slot across functions.
+		for _, p := range f.Params {
+			if p.ByValue {
+				next++
+				p.ParamOp = next
+			}
+		}
+		Walk(f.Body, func(s Stmt) {
+			if a, ok := s.(*Assign); ok {
+				next++
+				a.Dst.Op = next
+				if a.Dst.Index != nil {
+					assign(a.Dst.Index)
+				}
+				assign(a.Src)
+				return
+			}
+			StmtExprs(s, assign)
+		})
+	}
+	return next
+}

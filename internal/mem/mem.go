@@ -106,6 +106,36 @@ func (s *Space) Layout() Layout { return s.layout }
 // addressable (heap growth raises it).
 func (s *Space) Bound() uint64 { return s.heapNext }
 
+// TryLoad reads one element if addr is in bounds, reporting success. It is
+// shaped to inline into interpreter dispatch loops; callers fall back to
+// their full load path (with its range panic) when it reports false.
+func (s *Space) TryLoad(addr uint64) (float64, bool) {
+	if addr >= s.heapNext {
+		return 0, false
+	}
+	p := s.pages[addr>>PageShift]
+	if p == nil {
+		return 0, true // untouched pages read 0
+	}
+	return p[addr&pageMask], true
+}
+
+// TryStore writes one element if addr is in bounds and its page is already
+// materialized, reporting success. Like TryLoad it is shaped to inline
+// into dispatch loops; the false cases (range violation, first touch of a
+// page) fall back to the caller's full store path.
+func (s *Space) TryStore(addr uint64, v float64) bool {
+	if addr >= s.heapNext {
+		return false
+	}
+	p := s.pages[addr>>PageShift]
+	if p == nil {
+		return false
+	}
+	p[addr&pageMask] = v
+	return true
+}
+
 // Load reads one element. Untouched pages read 0 without materializing.
 func (s *Space) Load(addr uint64) float64 {
 	p := s.pages[addr>>PageShift]

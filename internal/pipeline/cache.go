@@ -186,8 +186,8 @@ func (e *profileEntry) run(mod *ir.Module, opt profiler.Options, maxInstrs int64
 			e.err = fmt.Errorf("profile cache: target program failed: %v", r)
 		}
 	}()
-	pb, instrs, execTime := execInstrumented(mod, prof, nil, maxInstrs)
+	ex, execTime := execInstrumented(mod, prof, nil, maxInstrs, opt.TreeWalk)
 	e.execTime = execTime
 	res := prof.Result()
-	e.mod, e.res, e.tree, e.instrs = mod, res, buildTree(pb, instrs, res), instrs
+	e.mod, e.res, e.tree, e.instrs = mod, res, buildTree(ex.pb, ex.instrs, res), ex.instrs
 }

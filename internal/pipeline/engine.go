@@ -78,6 +78,12 @@ type FleetStats struct {
 	// DistinctDeps is the number of distinct dependences in the fleet-level
 	// sharded accumulator (0 unless Options.CollectFleetDeps is set).
 	DistinctDeps int
+	// CompileHits counts jobs whose instrumented execution found its
+	// bytecode program already in the shared compile cache.
+	CompileHits int
+	// CompileLat is the distribution of per-job bytecode compile time
+	// (only jobs that actually compiled are observed).
+	CompileLat LatencyHist
 	// QueueLat is the distribution of per-job queue latency (Submit to
 	// worker pickup): exact min/max/mean plus a fixed-bucket histogram.
 	QueueLat LatencyHist
@@ -317,6 +323,12 @@ func (e *Engine) record(res *JobResult, ctx *Context) {
 	}
 	if ctx.CacheHit {
 		e.stats.CacheHits++
+	}
+	if ctx.CompileHit {
+		e.stats.CompileHits++
+	}
+	if ctx.CompileTime > 0 {
+		e.stats.CompileLat.Observe(ctx.CompileTime)
 	}
 	e.stats.Instrs += ctx.Instrs
 	if ctx.Profile != nil {

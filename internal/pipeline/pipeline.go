@@ -105,6 +105,13 @@ type Context struct {
 	// (no instrumented execution ran for this job).
 	CacheHit bool
 
+	// CompileTime is the bytecode compilation time this job paid (zero on
+	// a compile-cache hit, a profile-cache hit, or under TreeWalk);
+	// CompileHit reports that the shared compile cache already held the
+	// program for this job's module.
+	CompileTime time.Duration
+	CompileHit  bool
+
 	// DepCount and CUCount mirror len(Profile.Deps) and len(CUs.CUs) for
 	// jobs analyzed by a remote stage, where the full products stay on the
 	// worker and only the report summary crosses the wire. Use
@@ -224,9 +231,20 @@ func (Profile) Run(ctx *Context) error {
 			ctx.Prof.Stop()
 		}
 	}()
-	ctx.PETBuilder, ctx.Instrs, ctx.ExecTime = execInstrumented(ctx.Mod, ctx.Prof, ctx.Opt.ExtraTracers, ctx.Opt.MaxInstrs)
+	var ex execResult
+	ex, ctx.ExecTime = execInstrumented(ctx.Mod, ctx.Prof, ctx.Opt.ExtraTracers, ctx.Opt.MaxInstrs, ctx.Opt.Profiler.TreeWalk)
+	ctx.PETBuilder, ctx.Instrs = ex.pb, ex.instrs
+	ctx.CompileTime, ctx.CompileHit = ex.compileTime, ex.compileHit
 	ctx.Profile = ctx.Prof.Result()
 	return nil
+}
+
+// execResult carries the products of one instrumented execution.
+type execResult struct {
+	pb          *pet.Builder
+	instrs      int64
+	compileTime time.Duration // bytecode compile time paid by this run
+	compileHit  bool          // compiled program served from the shared cache
 }
 
 // execInstrumented runs mod under prof and a fresh PET builder (plus any
@@ -234,15 +252,19 @@ func (Profile) Run(ctx *Context) error {
 // by the Profile stage and the ProfileCache. The simulated address space is
 // recycled through the shared arena pool, so batch workers stop paying an
 // arena allocation (and its zeroing) per job.
-func execInstrumented(mod *ir.Module, prof *profiler.Profiler, extra []interp.Tracer, maxInstrs int64) (*pet.Builder, int64, time.Duration) {
+func execInstrumented(mod *ir.Module, prof *profiler.Profiler, extra []interp.Tracer, maxInstrs int64, treeWalk bool) (execResult, time.Duration) {
 	pb := pet.NewBuilder()
 	tracers := append([]interp.Tracer{prof, pb}, extra...)
-	in := interp.New(mod, &interp.MultiTracer{Tracers: tracers},
-		interp.WithPool(mem.Default), interp.WithMaxInstrs(maxInstrs))
+	iopts := []interp.Option{interp.WithPool(mem.Default), interp.WithMaxInstrs(maxInstrs)}
+	if treeWalk {
+		iopts = append(iopts, interp.WithTreeWalk())
+	}
+	in := interp.New(mod, &interp.MultiTracer{Tracers: tracers}, iopts...)
 	defer in.Release()
 	start := time.Now()
 	instrs := in.Run()
-	return pb, instrs, time.Since(start)
+	return execResult{pb: pb, instrs: instrs,
+		compileTime: in.CompileTime, compileHit: in.CompileHit}, time.Since(start)
 }
 
 // buildTree finalizes the PET and annotates it with the profile's per-sink
@@ -349,6 +371,10 @@ type Report struct {
 	ExecTime time.Duration
 	// CacheHit reports that the profile was served from a ProfileCache.
 	CacheHit bool
+	// CompileTime and CompileHit carry the bytecode compile cost of the
+	// job's instrumented execution (see Context).
+	CompileTime time.Duration
+	CompileHit  bool
 	// DepCount and CUCount carry the dependence and CU counts of a
 	// remotely-analyzed job (Profile and CUs stay on the worker).
 	DepCount int
@@ -391,20 +417,22 @@ func (r *Report) StageDuration(name string) time.Duration {
 // Report assembles the stage products into a Report.
 func (c *Context) Report() *Report {
 	return &Report{
-		Mod:        c.Mod,
-		Profile:    c.Profile,
-		PET:        c.PET,
-		Scope:      c.Scope,
-		CUs:        c.CUs,
-		Analysis:   c.Analysis,
-		Ranked:     c.Ranked,
-		Instrs:     c.Instrs,
-		ExecTime:   c.ExecTime,
-		CacheHit:   c.CacheHit,
-		DepCount:   c.DepCount,
-		CUCount:    c.CUCount,
-		RemotePeer: c.RemotePeer,
-		Times:      c.Times,
+		Mod:         c.Mod,
+		Profile:     c.Profile,
+		PET:         c.PET,
+		Scope:       c.Scope,
+		CUs:         c.CUs,
+		Analysis:    c.Analysis,
+		Ranked:      c.Ranked,
+		Instrs:      c.Instrs,
+		ExecTime:    c.ExecTime,
+		CacheHit:    c.CacheHit,
+		CompileTime: c.CompileTime,
+		CompileHit:  c.CompileHit,
+		DepCount:    c.DepCount,
+		CUCount:     c.CUCount,
+		RemotePeer:  c.RemotePeer,
+		Times:       c.Times,
 	}
 }
 

@@ -42,6 +42,10 @@ type Options struct {
 	// rebalancing checks (default 2000; the paper uses 50000 at its much
 	// larger workload scale). 0 disables redistribution.
 	RebalanceInterval int
+	// TreeWalk runs the target on the reference tree-walking engine
+	// instead of the bytecode VM. The event streams are identical; the
+	// walker is kept for differential testing and debugging.
+	TreeWalk bool
 }
 
 func (o *Options) defaults() {
@@ -419,7 +423,11 @@ func (s *SkipStats) add(o *SkipStats) {
 // runs do not pay an arena allocation each.
 func Profile(m *ir.Module, opt Options) *Result {
 	p := New(m, opt)
-	in := interp.New(m, p, interp.WithPool(mem.Default))
+	iopts := []interp.Option{interp.WithPool(mem.Default)}
+	if opt.TreeWalk {
+		iopts = append(iopts, interp.WithTreeWalk())
+	}
+	in := interp.New(m, p, iopts...)
 	defer in.Release()
 	in.Run()
 	return p.Result()

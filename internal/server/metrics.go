@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"discopop/internal/bytecode"
 	"discopop/internal/metrics"
 	"discopop/internal/pipeline"
 )
@@ -78,6 +79,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		metrics.V(float64(s.cache.Evictions())))
 	e.Gauge("dp_profile_cache_entries", "Live profile-cache entries.",
 		metrics.V(float64(s.cache.Len())))
+
+	// Bytecode compile cache (process-wide; interp.New compiles through
+	// bytecode.Shared unless a job opts into the tree walker).
+	chits, cmisses, centries := bytecode.Shared.Stats()
+	e.Counter("dp_compile_cache_hits_total", "Bytecode compile-cache hits.",
+		metrics.V(float64(chits)))
+	e.Counter("dp_compile_cache_misses_total", "Bytecode compile-cache misses (programs compiled).",
+		metrics.V(float64(cmisses)))
+	e.Counter("dp_compile_cache_entries_total", "Live compile-cache entries.",
+		metrics.V(float64(centries)))
+	e.Histogram("dp_compile_seconds",
+		"Per-job bytecode compile time (compiling jobs only).", latencyHistogram(st.CompileLat))
 
 	// Arena pool (process-wide).
 	e.Counter("dp_pool_gets_total", "Arena spaces checked out of the shared pool.",

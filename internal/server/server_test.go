@@ -662,3 +662,58 @@ func TestSerializedModuleSubmission(t *testing.T) {
 		t.Fatalf("dp_jobs_rejected_total declared as %q", scrape.Types["dp_jobs_rejected_total"])
 	}
 }
+
+// TestCompileCacheMetrics: the bytecode compile cache surfaces on
+// /metrics, and a repeated inline submission — which bypasses the profile
+// cache by design — is served by the compile cache instead: identical
+// module content compiles once. Asserted as deltas because the compile
+// cache is process-wide (bytecode.Shared) and other tests also compile.
+func TestCompileCacheMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	before := scrape(t, ts.URL)
+	mustValue(t, before, "dp_compile_cache_hits_total")
+	mustValue(t, before, "dp_compile_cache_misses_total")
+	mustValue(t, before, "dp_compile_cache_entries_total")
+	if typ := before.Types["dp_compile_seconds"]; typ != "histogram" {
+		t.Errorf("dp_compile_seconds TYPE = %q, want histogram", typ)
+	}
+
+	// Content unique to this test, so the first submission is a compile
+	// miss no matter what ran before.
+	spec := `{"inline":{"name":"ccache-probe","kernels":[{"pattern":"doall","n":512},{"pattern":"reduction","n":512}]}}`
+	v1 := waitJob(t, ts.URL, postAnalyze(t, ts.URL, spec))
+	if v1.State != jobDone {
+		t.Fatalf("first inline job: %s (%s)", v1.State, v1.Error)
+	}
+	mid := scrape(t, ts.URL)
+	if d := mustValue(t, mid, "dp_compile_cache_misses_total") -
+		mustValue(t, before, "dp_compile_cache_misses_total"); d < 1 {
+		t.Errorf("first inline submission raised compile misses by %v, want >= 1", d)
+	}
+
+	v2 := waitJob(t, ts.URL, postAnalyze(t, ts.URL, spec))
+	if v2.State != jobDone {
+		t.Fatalf("repeat inline job: %s (%s)", v2.State, v2.Error)
+	}
+	if v2.Result.CacheHit {
+		t.Error("inline module must never be profile-cache-served")
+	}
+	after := scrape(t, ts.URL)
+	if d := mustValue(t, after, "dp_compile_cache_hits_total") -
+		mustValue(t, mid, "dp_compile_cache_hits_total"); d < 1 {
+		t.Errorf("repeat inline submission raised compile hits by %v, want >= 1", d)
+	}
+	if d := mustValue(t, after, "dp_compile_cache_misses_total") -
+		mustValue(t, mid, "dp_compile_cache_misses_total"); d != 0 {
+		t.Errorf("repeat inline submission recompiled (%v new misses)", d)
+	}
+	if v := mustValue(t, after, "dp_compile_cache_entries_total"); v < 1 {
+		t.Errorf("compile cache entries = %v, want >= 1", v)
+	}
+	// The identical content must yield the identical analysis.
+	if v2.Result.Deps != v1.Result.Deps || v2.Result.Instrs != v1.Result.Instrs {
+		t.Errorf("compile-cached run diverged: deps %d vs %d, instrs %d vs %d",
+			v2.Result.Deps, v1.Result.Deps, v2.Result.Instrs, v1.Result.Instrs)
+	}
+}

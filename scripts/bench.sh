@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# scripts/bench.sh [label] — run the headline benchmarks, fold the results
-# into $BENCH_OUT (minimum ns/op per benchmark over COUNT runs, one JSON
-# object per recorded label), then diff the run against the most recent
-# other BENCH_*.json record and print the per-benchmark deltas (also written
-# to scripts/bench-results/delta.md as a markdown table for CI summaries).
+# scripts/bench.sh [label] — run the headline benchmarks COUNT times, fold
+# the results into $BENCH_OUT (per benchmark: minimum, mean, and stddev of
+# ns/op over the COUNT runs, one JSON object per recorded label), then diff
+# the run against the most recent other BENCH_*.json record and print the
+# per-benchmark deltas (also written to scripts/bench-results/delta.md as a
+# markdown table for CI summaries).
 #
 # Labels accumulate in the JSON: run once on the base commit with label
 # "before" and once on the PR with the default "after" to record the perf
@@ -21,16 +22,18 @@ cd "$(dirname "$0")/.."
 label="${1:-after}"
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-20x}"
-BENCH="${BENCH:-BenchmarkProfilerThroughput\$|BenchmarkAnalyzeAll\$|BenchmarkInterpNative\$}"
-BENCH_OUT="${BENCH_OUT:-BENCH_PR3.json}"
+BENCH="${BENCH:-BenchmarkProfilerThroughput\$|BenchmarkProfilerThroughputTreeWalk\$|BenchmarkAnalyzeAll\$|BenchmarkInterpNative\$|BenchmarkInterpNativeTreeWalk\$}"
+BENCH_OUT="${BENCH_OUT:-BENCH_PR6.json}"
 RESULTS_DIR="${RESULTS_DIR:-scripts/bench-results}"
 
 mkdir -p "$RESULTS_DIR" scripts/bench-results
 go test -run NONE -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" . \
   | tee "$RESULTS_DIR/$label.out"
 
-# Regenerate $BENCH_OUT from every label recorded in $RESULTS_DIR (min
-# ns/op per benchmark).
+# Regenerate $BENCH_OUT from every label recorded in $RESULTS_DIR. Each
+# benchmark records min (the steady-state estimate the delta gate uses),
+# mean, and the sample standard deviation over its runs — the variance
+# estimate the ROADMAP asked for before any fail gate.
 {
   echo '{'
   first=1
@@ -44,13 +47,22 @@ go test -run NONE -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" . \
         name = $1
         sub(/-[0-9]+$/, "", name)
         ns = $3 + 0
-        if (!(name in best)) { order[++k] = name; best[name] = ns }
-        else if (ns < best[name]) best[name] = ns
+        if (!(name in n)) order[++k] = name
+        n[name]++; sum[name] += ns; sumsq[name] += ns * ns
+        if (!(name in best) || ns < best[name]) best[name] = ns
       }
       END {
         for (i = 1; i <= k; i++) {
+          b = order[i]
+          mean = sum[b] / n[b]
+          sd = 0
+          if (n[b] > 1) {
+            v = (sumsq[b] - sum[b] * sum[b] / n[b]) / (n[b] - 1)
+            if (v > 0) sd = sqrt(v)
+          }
           if (i > 1) printf ", "
-          printf "\"%s_ns_per_op\": %d", order[i], best[order[i]]
+          printf "\"%s_ns_per_op\": %d, \"%s_mean_ns\": %d, \"%s_stddev_ns\": %d", \
+            b, best[b], b, mean, b, sd
         }
       }' "$f"
     printf '}'
@@ -60,11 +72,13 @@ go test -run NONE -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" . \
 } > "$BENCH_OUT"
 echo "wrote $BENCH_OUT"
 
-# vals_for_label FILE LABEL — emit "benchmark ns" pairs recorded under one
-# label of a BENCH_*.json (labels are one object per line by construction).
-vals_for_label() {
+# vals_for FILE LABEL SUFFIX — emit "benchmark value" pairs for one metric
+# suffix recorded under one label of a BENCH_*.json (labels are one object
+# per line by construction).
+vals_for() {
   sed -n "s/^ *\"$2\": {\(.*\)}.*$/\1/p" "$1" | tr ',' '\n' \
-    | sed 's/[" ]//g' | awk -F: 'NF==2 {sub(/_ns_per_op$/, "", $1); print $1, $2}'
+    | sed 's/[" ]//g' | awk -F: -v suf="$3" '
+      NF==2 && $1 ~ suf"$" { sub(suf"$", "", $1); print $1, $2 }'
 }
 
 # Diff this run against the newest other BENCH_*.json record ("after"
@@ -76,47 +90,54 @@ if [ -z "$base" ]; then
   exit 0
 fi
 baselab="after"
-if [ -z "$(vals_for_label "$base" "$baselab")" ]; then
+if [ -z "$(vals_for "$base" "$baselab" _ns_per_op)" ]; then
   baselab=$(sed -n 's/^ *"\([^"]*\)": {.*/\1/p' "$base" | head -1)
 fi
-# Rows whose relative delta exceeds ±THRESHOLD_PCT are marked in the
-# table and summarized below it. The threshold is deliberately wide
-# (variance-aware): CI smoke runs are single iterations on shared runners,
-# so small swings are noise — marked rows warn, they never fail the job
-# (per the ROADMAP, a fail gate needs multi-run variance estimates first).
-THRESHOLD_PCT="${THRESHOLD_PCT:-15}"
+# Per-benchmark threshold: ±max(2×stddev of this run as a percentage of
+# its mean, MIN_THRESHOLD_PCT). Rows beyond it are marked and summarized,
+# but never fail the job: cross-machine baselines shift everything by a
+# constant factor, so the gate stays warn-only and a human (or the
+# EXPERIMENTS.md same-machine ablation) arbitrates.
+MIN_THRESHOLD_PCT="${MIN_THRESHOLD_PCT:-5}"
 {
   echo "### Benchmark delta: \`$label\` vs \`$base\` (\`$baselab\`)"
   echo
-  echo "| benchmark | $base ns/op | $label ns/op | delta | status |"
-  echo "|---|---:|---:|---:|---|"
+  echo "| benchmark | $base ns/op | $label ns/op | delta | threshold | status |"
+  echo "|---|---:|---:|---:|---:|---|"
   {
-    vals_for_label "$base" "$baselab" | sed 's/^/old /'
-    vals_for_label "$BENCH_OUT" "$label" | sed 's/^/new /'
-  } | awk -v thr="$THRESHOLD_PCT" '
-    $1 == "old" { old[$2] = $3; next }
-    $1 == "new" { new[$2] = $3; order[++k] = $2 }
+    vals_for "$base" "$baselab" _ns_per_op     | sed 's/^/old /'
+    vals_for "$BENCH_OUT" "$label" _ns_per_op  | sed 's/^/new /'
+    vals_for "$BENCH_OUT" "$label" _mean_ns    | sed 's/^/mean /'
+    vals_for "$BENCH_OUT" "$label" _stddev_ns  | sed 's/^/sd /'
+  } | awk -v minthr="$MIN_THRESHOLD_PCT" '
+    $1 == "old"  { old[$2] = $3; next }
+    $1 == "mean" { mean[$2] = $3; next }
+    $1 == "sd"   { sd[$2] = $3; next }
+    $1 == "new"  { new[$2] = $3; order[++k] = $2 }
     END {
       warned = 0
       for (i = 1; i <= k; i++) {
         b = order[i]
+        thr = minthr
+        if (b in mean && mean[b] > 0 && 200 * sd[b] / mean[b] > thr)
+          thr = 200 * sd[b] / mean[b]
         if (b in old && old[b] > 0) {
           pct = 100 * (new[b] - old[b]) / old[b]
           status = "ok"
-          if (pct > thr)       { status = sprintf("⚠️ regression >+%s%%", thr); warn[++warned] = sprintf("%s %+.1f%%", b, pct) }
-          else if (pct < -thr) { status = sprintf("✅ improvement >-%s%%", thr) }
-          printf "| %s | %d | %d | %+.1f%% | %s |\n", b, old[b], new[b], pct, status
+          if (pct > thr)       { status = sprintf("⚠️ regression >+%.1f%%", thr); warn[++warned] = sprintf("%s %+.1f%%", b, pct) }
+          else if (pct < -thr) { status = sprintf("✅ improvement >-%.1f%%", thr) }
+          printf "| %s | %d | %d | %+.1f%% | ±%.1f%% | %s |\n", b, old[b], new[b], pct, thr, status
         } else {
-          printf "| %s | - | %d | new | - |\n", b, new[b]
+          printf "| %s | - | %d | new | ±%.1f%% | - |\n", b, new[b], thr
         }
       }
       print ""
       if (warned > 0) {
-        printf "**%d benchmark(s) above the ±%s%% variance threshold:** ", warned, thr
+        printf "**%d benchmark(s) beyond their measured-variance threshold:** ", warned
         for (i = 1; i <= warned; i++) printf "%s%s", warn[i], (i < warned ? ", " : "")
-        print " — informational only (single-iteration smoke runs are noisy; rerun with COUNT≥5 locally before acting)."
+        print " — informational only (thresholds are 2×stddev of this run, floored at ±" minthr "%; cross-machine baselines shift absolute numbers, so rerun on one machine before acting)."
       } else {
-        printf "All deltas within the ±%s%% variance threshold.\n", thr
+        print "All deltas within their measured-variance thresholds (±2×stddev, floored at ±" minthr "%)."
       }
     }'
 } | tee "$delta"

@@ -74,6 +74,28 @@ grep -q 'dp_jobs_rejected_total{reason="body"} 1' /tmp/metrics2.txt \
 grep -q 'dp_jobs_rejected_total{reason="decode"} 1' /tmp/metrics2.txt \
   || fail "decode rejection not counted"
 
+# Bytecode compile cache: the counters and compile-time histogram are
+# exposed, and resubmitting an identical inline module — which never
+# hits the profile cache — is served by the compile cache: the second
+# submission raises the hit counter instead of compiling again.
+grep -q '^dp_compile_cache_misses_total ' /tmp/metrics2.txt \
+  || fail "compile-cache counters missing"
+grep -q '^# TYPE dp_compile_seconds histogram' /tmp/metrics2.txt \
+  || fail "no compile-time histogram declared"
+cc_before=$(sed -n 's/^dp_compile_cache_hits_total \([0-9.e+]*\)$/\1/p' /tmp/metrics2.txt)
+INLINE='{"inline":{"name":"smoke-ccache","kernels":[{"pattern":"doall","n":512}]}}'
+for _ in 1 2; do
+  resp=$(curl -s -XPOST "$BASE/v1/analyze" -d "$INLINE")
+  id=$(echo "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+  [ -n "$id" ] || fail "no job id for inline submission in $resp"
+  job=$(curl -s "$BASE/v1/jobs/$id?wait=30s")
+  echo "$job" | grep -q '"state":"done"' || fail "inline job did not finish: $job"
+done
+curl -sf "$BASE/metrics" > /tmp/metrics_cc.txt || fail "/metrics scrape failed"
+cc_after=$(sed -n 's/^dp_compile_cache_hits_total \([0-9.e+]*\)$/\1/p' /tmp/metrics_cc.txt)
+awk -v a="${cc_before:-0}" -v b="${cc_after:-0}" 'BEGIN { exit (b > a ? 0 : 1) }' \
+  || fail "repeat inline submission did not hit the compile cache (hits $cc_before -> $cc_after)"
+
 # Graceful drain: SIGTERM must end the process cleanly.
 kill -TERM "$SRV"
 for _ in $(seq 1 50); do

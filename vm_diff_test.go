@@ -1,0 +1,44 @@
+package discopop
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// rankingOf runs the full pipeline — profile, CU construction, discovery,
+// ranking — on the named workload with the chosen execution engine, and
+// renders the ranked suggestion list field by field.
+func rankingOf(name string, treeWalk bool) string {
+	opt := Options{}
+	opt.Profiler.TreeWalk = treeWalk
+	rep := Analyze(Workload(name, 1).M, opt)
+	var sb strings.Builder
+	for i, s := range rep.Ranked {
+		fmt.Fprintf(&sb, "%d %s %s cov=%.9f spd=%.9f imb=%.9f score=%.9f iters=%d weight=%.3f blocking=%d notes=%q\n",
+			i, s.Kind, s.Loc, s.Coverage, s.LocalSpeedup, s.Imbalance, s.Score,
+			s.Iters, s.Weight, len(s.Blocking), s.Notes)
+	}
+	fmt.Fprintf(&sb, "instrs=%d deps=%d", rep.Instrs, rep.NumDeps())
+	return sb.String()
+}
+
+// TestVMRankingsMatchTreeWalk: the end of the pipeline — the ranked
+// parallelization suggestions a user actually reads — is identical
+// whether the target ran on the bytecode VM or the reference tree
+// walker, down to every score digit and blocking-dependence count.
+// Workloads span sequential kernels, reductions, pipelines, and
+// multi-threaded targets.
+func TestVMRankingsMatchTreeWalk(t *testing.T) {
+	for _, name := range []string{"CG", "EP", "kmeans", "mandelbrot", "gzip", "histogram", "md5-mt", "rgbyuv-mt", "fib"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			walk := rankingOf(name, true)
+			vm := rankingOf(name, false)
+			if walk != vm {
+				t.Errorf("rankings diverged between engines\nwalker:\n%s\n\nvm:\n%s", walk, vm)
+			}
+		})
+	}
+}
