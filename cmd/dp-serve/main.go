@@ -6,6 +6,8 @@
 //
 //	dp-serve [-addr :8080] [-jobs 0] [-cache-size 1024] [-queue 64] [-threads 16]
 //	dp-serve -addr :8080 -peers http://10.0.0.7:8081,http://10.0.0.8:8081
+//	dp-serve -tokens s3cret=alice,t0ken=bob -journal /var/lib/dp/jobs.journal \
+//	         -rate 10 -max-inflight 8 -quota-instrs 5e6
 //
 //	curl -XPOST localhost:8080/v1/analyze -d '{"workload":"CG","scale":2}'
 //	curl localhost:8080/v1/jobs/j000001?wait=10s
@@ -17,6 +19,13 @@
 // dp-serve worker (round-robin with health tracking and failover),
 // falling back to local analysis when the whole fleet is unreachable.
 // Per-peer proxy counters appear on /metrics.
+//
+// With -tokens or -token-file the /v1 API requires a bearer token, and
+// rate limits, quotas, and journal records are keyed by the client each
+// token maps to. -journal makes accepted/started/finished transitions
+// durable: after a crash the next boot replays them, restores the job
+// records (results included), and marks the jobs in flight at the crash
+// as failed (interrupted).
 //
 // On SIGTERM/SIGINT the service drains: the listener closes, queued and
 // running jobs finish, then the process exits. A second signal aborts
@@ -49,6 +58,16 @@ func main() {
 		threads   = flag.Int("threads", 16, "default thread count for local-speedup ranking")
 		drainFor  = flag.Duration("drain-timeout", time.Minute, "max time to wait for in-flight jobs on shutdown")
 		peers     = flag.String("peers", "", "comma-separated worker URLs; run as a fleet coordinator")
+
+		tokens      = flag.String("tokens", "", "inline token map: tok=client[,tok=client...]; enables /v1 auth")
+		tokenFile   = flag.String("token-file", "", "file of \"token client\" lines; enables /v1 auth")
+		peerToken   = flag.String("peer-token", "", "bearer token this coordinator presents to its -peers")
+		journalPath = flag.String("journal", "", "append-only job journal path; replayed on boot for crash recovery")
+		rate        = flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+		burst       = flag.Int("burst", 0, "per-client submission burst (0 = 4x rate)")
+		maxInflight = flag.Int("max-inflight", 0, "per-client accepted-but-unfinished job cap (0 = unlimited)")
+		quotaInstrs = flag.Float64("quota-instrs", 0, "per-client interpreted instructions per second (0 = unlimited)")
+		maxModuleKB = flag.Int("max-module-kb", 0, "per-submission serialized-module payload cap in KiB (0 = codec limits only)")
 	)
 	flag.Parse()
 
@@ -60,15 +79,39 @@ func main() {
 	if *peers != "" {
 		peerList = strings.Split(*peers, ",")
 	}
-	svc := server.New(server.Config{
+	tokenMap, err := loadTokens(*tokens, *tokenFile)
+	if err != nil {
+		log.Fatalf("dp-serve: %v", err)
+	}
+	cfg := server.Config{
 		Workers:      *jobs,
 		CacheEntries: cacheEntries,
 		QueueDepth:   *queue,
 		Threads:      *threads,
 		Peers:        peerList,
-	})
+		Tokens:       tokenMap,
+		JournalPath:  *journalPath,
+		Quotas: server.Quotas{
+			SubmitRate:     *rate,
+			SubmitBurst:    *burst,
+			MaxInflight:    *maxInflight,
+			InstrRate:      *quotaInstrs,
+			MaxModuleBytes: *maxModuleKB << 10,
+		},
+	}
+	cfg.Remote.Token = *peerToken
+	svc, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("dp-serve: %v", err)
+	}
 	if len(peerList) > 0 {
 		log.Printf("dp-serve: coordinating a %d-peer fleet: %s", len(peerList), *peers)
+	}
+	if len(tokenMap) > 0 {
+		log.Printf("dp-serve: /v1 auth enabled for %d token(s)", len(tokenMap))
+	}
+	if *journalPath != "" {
+		log.Printf("dp-serve: journaling jobs to %s", *journalPath)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -109,4 +152,41 @@ func main() {
 		log.Printf("dp-serve: %v", err)
 	}
 	log.Print("dp-serve: drained cleanly")
+}
+
+// loadTokens merges the -tokens inline map ("tok=client,tok=client") with
+// a -token-file of "token client" lines (blank lines and #-comments
+// skipped). Later entries win on duplicate tokens.
+func loadTokens(inline, file string) (map[string]string, error) {
+	out := map[string]string{}
+	if inline != "" {
+		for _, pair := range strings.Split(inline, ",") {
+			tok, client, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || tok == "" || client == "" {
+				return nil, fmt.Errorf("bad -tokens entry %q (want token=client)", pair)
+			}
+			out[tok] = client
+		}
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("-token-file: %w", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("-token-file %s:%d: want \"token client\"", file, i+1)
+			}
+			out[fields[0]] = fields[1]
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
 }

@@ -1,0 +1,70 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestGenCorpus writes the committed FuzzJournalReplay seed corpus.
+// Gated on GEN_CORPUS=1; run once when the on-disk format changes.
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("GEN_CORPUS") != "1" {
+		t.Skip("set GEN_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzJournalReplay")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Unix(1700000000, 0).UTC()
+	full := func(recs ...Record) []byte {
+		out := []byte(magic)
+		for _, r := range recs {
+			out = append(out, frame(t, r)...)
+		}
+		return out
+	}
+	seeds := map[string][]byte{
+		"seed-empty": {},
+		"seed-magic": []byte(magic),
+		"seed-accepted": full(Record{Op: OpAccepted, ID: "j000001", Time: ts,
+			Workload: "CG", Scale: 2, Client: "alice", IdemKey: "key-1"}),
+		"seed-lifecycle": full(
+			Record{Op: OpAccepted, ID: "j000001", Time: ts, Workload: "histogram", Client: "bob", IdemKey: "key-b"},
+			Record{Op: OpStarted, ID: "j000001", Time: ts},
+			Record{Op: OpFinished, ID: "j000001", Time: ts, State: "done",
+				Result: json.RawMessage(`{"instrs":42,"deps":7,"cus":3,"cache_hit":false,"elapsed_ms":1.5,"queue_ms":0.1,"suggestions":[{"rank":1,"kind":"DOALL","loc":"1:5","coverage":0.5,"speedup":16,"imbalance":0,"score":8}]}`)},
+		),
+		"seed-failed": full(
+			Record{Op: OpAccepted, ID: "j000002", Time: ts, Workload: "EP"},
+			Record{Op: OpFinished, ID: "j000002", Time: ts, State: "failed",
+				Error: "job \"j000002\": instruction budget of 50000 statements exhausted"},
+		),
+		"seed-interrupted": full(
+			Record{Op: OpAccepted, ID: "j000003", Time: ts, Workload: "CG", Client: "alice"},
+			Record{Op: OpStarted, ID: "j000003", Time: ts},
+			Record{Op: OpFinished, ID: "j000003", Time: ts, State: "failed", Error: "interrupted: node restarted mid-job"},
+		),
+	}
+	// Crash shapes: torn tail, flipped payload bit, garbage, huge length.
+	torn := full(Record{Op: OpAccepted, ID: "j000004", Time: ts, Workload: "CG"})
+	torn = append(torn, frame(t, Record{Op: OpFinished, ID: "j000004", Time: ts, State: "done"})[:5]...)
+	seeds["seed-torn-tail"] = torn
+	flipped := full(Record{Op: OpAccepted, ID: "j000005", Time: ts, Workload: "CG"})
+	flipped[len(flipped)-2] ^= 0x20
+	seeds["seed-bit-flip"] = flipped
+	seeds["seed-garbage-tail"] = append([]byte(magic), []byte("!!!! certainly not a frame")...)
+	seeds["seed-huge-length"] = append([]byte(magic), 0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4)
+
+	for name, data := range seeds {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d seeds to %s", len(seeds), dir)
+}

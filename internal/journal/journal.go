@@ -1,0 +1,357 @@
+// Package journal is the crash-safe, append-only job journal behind
+// dp-serve's durable job records. Every job transition — accepted,
+// started, finished — is appended as one length-prefixed, checksummed
+// record; on boot the service replays the journal to restore its record
+// store, so a restart answers long-polls for pre-restart jobs instead of
+// forgetting them, and jobs that were in flight at crash time surface as
+// failed (interrupted) rather than vanishing.
+//
+// On-disk format:
+//
+//	"DPJ1"                          4-byte file magic
+//	repeated records:
+//	  uint32 LE payload length      capped at MaxRecordBytes
+//	  uint32 LE CRC32 (IEEE)        over the payload bytes
+//	  payload                       one JSON-encoded Record
+//
+// The format is designed around crash behavior, not elegance: a torn
+// write at crash time leaves a short or corrupt tail, so Replay stops at
+// the first record that fails its frame, checksum, or decode — everything
+// before it is a consistent prefix — and Open truncates the torn tail so
+// the next append continues from a clean boundary. Replay never panics on
+// arbitrary bytes (FuzzJournalReplay holds it to that).
+//
+// Durability is batched: Append buffers the record and a background
+// flusher coalesces writes into one Flush+fsync within a few
+// milliseconds, so a burst of accepted jobs costs one disk sync instead
+// of one each. The trade is explicit: a crash can lose the last few
+// milliseconds of appends, but never corrupts what came before.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record ops: the three job transitions the server journals.
+const (
+	// OpAccepted is written once a submission is acknowledged with 202:
+	// the job exists and a result is owed.
+	OpAccepted = "accepted"
+	// OpStarted is written when the job is handed to the analysis engine.
+	OpStarted = "started"
+	// OpFinished is written when the result (or failure) is recorded.
+	OpFinished = "finished"
+)
+
+// Record is one journaled job transition. Which fields are meaningful
+// depends on Op: accepted records carry the job's identity (workload,
+// client, idempotency key), finished records carry the terminal state and
+// the result summary; started records are just the op, id, and time.
+type Record struct {
+	Op   string    `json:"op"`
+	ID   string    `json:"id"`
+	Time time.Time `json:"time"`
+
+	// Accepted-record fields.
+	Workload string `json:"workload,omitempty"`
+	Scale    int    `json:"scale,omitempty"`
+	Client   string `json:"client,omitempty"`
+	IdemKey  string `json:"idem_key,omitempty"`
+
+	// Finished-record fields. Result is the server's job-result summary,
+	// kept opaque here so the journal does not depend on the server's
+	// JSON shapes.
+	State  string          `json:"state,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// MaxRecordBytes caps one record's payload. The largest legitimate record
+// is a finished record carrying a result summary (bounded by the server's
+// suggestion cap); the cap exists so a corrupt length prefix cannot make
+// replay allocate gigabytes.
+const MaxRecordBytes = 1 << 20
+
+const magic = "DPJ1"
+
+// frame header: uint32 length + uint32 crc.
+const frameHeader = 8
+
+// ErrNotJournal reports a non-empty file whose first bytes are not the
+// journal magic: almost certainly not ours, so Open refuses to append to
+// (and truncate) it.
+var ErrNotJournal = errors.New("journal: bad file magic")
+
+// Replay decodes every complete, checksummed record from data (a whole
+// journal file, magic included). It stops cleanly at the first torn or
+// corrupt record — the expected shape of a crash tail — returning the
+// records before it and the byte offset replay stopped at. The returned
+// error is nil only when the whole file was consumed; it is diagnostic
+// (the consistent prefix is still usable), except for ErrNotJournal,
+// which means no prefix exists at all. Replay never panics on arbitrary
+// input.
+func Replay(data []byte) (recs []Record, consumed int, err error) {
+	if len(data) == 0 {
+		return nil, 0, nil
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, 0, ErrNotJournal
+	}
+	off := len(magic)
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			return recs, off, fmt.Errorf("journal: torn frame header at offset %d", off)
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if n == 0 || n > MaxRecordBytes {
+			return recs, off, fmt.Errorf("journal: implausible record length %d at offset %d", n, off)
+		}
+		if uint32(len(rest)-frameHeader) < n {
+			return recs, off, fmt.Errorf("journal: torn record at offset %d (want %d payload bytes, have %d)",
+				off, n, len(rest)-frameHeader)
+		}
+		payload := rest[frameHeader : frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, fmt.Errorf("journal: checksum mismatch at offset %d", off)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off, fmt.Errorf("journal: undecodable record at offset %d: %v", off, err)
+		}
+		if rec.Op != OpAccepted && rec.Op != OpStarted && rec.Op != OpFinished {
+			return recs, off, fmt.Errorf("journal: unknown op %q at offset %d", rec.Op, off)
+		}
+		recs = append(recs, rec)
+		off += frameHeader + int(n)
+	}
+	return recs, off, nil
+}
+
+// Stats is a snapshot of a journal's append-side counters.
+type Stats struct {
+	// Appends is how many records have been appended this process.
+	Appends int64
+	// Bytes is the framed bytes appended this process.
+	Bytes int64
+	// Syncs is how many batched fsyncs the flusher has issued.
+	Syncs int64
+	// Replayed is how many records Open recovered from the file at boot.
+	Replayed int64
+	// Truncated is non-zero when Open dropped a torn or corrupt tail.
+	Truncated int64
+}
+
+// Journal is an open journal file accepting appends. Safe for concurrent
+// use.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	buf    []byte // pending framed bytes not yet written through
+	err    error  // sticky I/O error; surfaced by every later Append
+	closed bool
+	dirty  bool
+
+	kick chan struct{} // wakes the flusher; buffered, never blocks Append
+	done chan struct{} // closed when the flusher exits
+
+	appends   atomic.Int64
+	bytes     atomic.Int64
+	syncs     atomic.Int64
+	replayed  int64
+	truncated int64
+}
+
+// Open opens (creating if absent) the journal at path, replays every
+// intact record, truncates any torn tail so appends continue from a clean
+// boundary, and returns the journal ready for Append alongside the
+// replayed records. A non-empty file without the journal magic returns
+// ErrNotJournal rather than destroying whatever the file is.
+func Open(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(io.LimitReader(f, 1<<31))
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{
+		f:    f,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	var recs []Record
+	if len(data) == 0 {
+		if _, err := f.Write([]byte(magic)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	} else {
+		var consumed int
+		var rerr error
+		recs, consumed, rerr = Replay(data)
+		if errors.Is(rerr, ErrNotJournal) {
+			f.Close()
+			return nil, nil, fmt.Errorf("%w: %s", ErrNotJournal, path)
+		}
+		if consumed < len(data) {
+			// Torn or corrupt tail: drop it so the next append starts at a
+			// record boundary instead of extending garbage.
+			if err := f.Truncate(int64(consumed)); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			j.truncated = int64(len(data) - consumed)
+		}
+		if _, err := f.Seek(int64(consumed), io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		j.replayed = int64(len(recs))
+	}
+	go j.flusher()
+	return j, recs, nil
+}
+
+// Append journals one record. The write is buffered and synced by the
+// background flusher within a few milliseconds; callers needing a hard
+// durability point call Sync. A sticky I/O error from an earlier append
+// or sync is returned so the caller can surface the journal as degraded.
+func (j *Journal) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("journal: record of %d bytes exceeds cap %d", len(payload), MaxRecordBytes)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: append on closed journal")
+	}
+	if j.err != nil {
+		return j.err
+	}
+	j.buf = append(j.buf, frame...)
+	j.dirty = true
+	j.appends.Add(1)
+	j.bytes.Add(int64(len(frame)))
+	select {
+	case j.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// flusher coalesces appends: each kick waits a beat so a burst of appends
+// lands in one write+fsync, then flushes.
+func (j *Journal) flusher() {
+	defer close(j.done)
+	for range j.kick {
+		time.Sleep(2 * time.Millisecond)
+		j.mu.Lock()
+		if j.dirty {
+			j.flushLocked()
+		}
+		closed := j.closed
+		j.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// flushLocked writes the pending buffer through and fsyncs. Callers hold
+// j.mu.
+func (j *Journal) flushLocked() {
+	if len(j.buf) > 0 {
+		if _, err := j.f.Write(j.buf); err != nil && j.err == nil {
+			j.err = err
+		}
+		j.buf = j.buf[:0]
+	}
+	if err := j.f.Sync(); err != nil && j.err == nil {
+		j.err = err
+	}
+	j.dirty = false
+	j.syncs.Add(1)
+}
+
+// Sync forces every buffered record to disk before returning — the hard
+// durability point batching otherwise defers.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.err
+	}
+	if j.dirty {
+		j.flushLocked()
+	}
+	return j.err
+}
+
+// Close flushes, fsyncs, and closes the file. Idempotent; appends after
+// Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		<-j.done
+		return j.err
+	}
+	j.closed = true
+	if j.dirty {
+		j.flushLocked()
+	}
+	if err := j.f.Close(); err != nil && j.err == nil {
+		j.err = err
+	}
+	err := j.err
+	j.mu.Unlock()
+	// Unblock the flusher (it exits on the closed flag) and wait it out.
+	select {
+	case j.kick <- struct{}{}:
+	default:
+	}
+	close(j.kick)
+	<-j.done
+	return err
+}
+
+// Stats snapshots the journal's counters for /metrics.
+func (j *Journal) Stats() Stats {
+	return Stats{
+		Appends:   j.appends.Load(),
+		Bytes:     j.bytes.Load(),
+		Syncs:     j.syncs.Load(),
+		Replayed:  j.replayed,
+		Truncated: j.truncated,
+	}
+}

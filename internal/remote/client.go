@@ -3,12 +3,15 @@ package remote
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
 	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -85,6 +88,19 @@ func (e *jobEvictedError) Error() string {
 	return fmt.Sprintf("remote: peer %s no longer has job %s (record evicted)", e.peer, e.id)
 }
 
+// retryAfterError reports a 429 on submit: the peer is healthy but this
+// client is over its rate limit or quota. It is neither a transport fault
+// (no health penalty) nor authoritative for the job (the analysis has not
+// run) — the caller backs off for the advertised delay and retries.
+type retryAfterError struct {
+	peer  string
+	delay time.Duration
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("remote: peer %s rate-limited the submission (retry after %s)", e.peer, e.delay)
+}
+
 // ClientOptions tunes failover behavior. The zero value is serviceable.
 type ClientOptions struct {
 	// HTTPClient overrides the transport (tests inject httptest clients).
@@ -103,6 +119,9 @@ type ClientOptions struct {
 	// Cooldown is how long a down peer is skipped before being probed
 	// again (0 = 15s).
 	Cooldown time.Duration
+	// Token is the bearer token presented on every request; empty sends no
+	// Authorization header (workers running open).
+	Token string
 }
 
 func (o ClientOptions) withDefaults(peers int) ClientOptions {
@@ -266,9 +285,16 @@ func (c *Client) AnalyzeBytes(ctx context.Context, enc []byte, spec Spec) (*Wire
 	if len(candidates) > c.opt.MaxAttempts {
 		candidates = candidates[:c.opt.MaxAttempts]
 	}
+	// One idempotency key per logical job, reused across every peer attempt:
+	// a worker that already accepted an earlier attempt (the coordinator
+	// timed out, the connection dropped mid-response) answers the retry from
+	// its original record instead of running the analysis twice.
+	idemKey := newIdemKey()
 	var lastErr error
-	for _, p := range candidates {
-		rep, err := c.analyzeOn(ctx, p, enc, spec)
+	rateRetries := 0
+	for i := 0; i < len(candidates); i++ {
+		p := candidates[i]
+		rep, err := c.analyzeOn(ctx, p, enc, spec, idemKey)
 		if err == nil {
 			p.noteSuccess()
 			p.jobs.Add(1)
@@ -289,6 +315,23 @@ func (c *Client) AnalyzeBytes(ctx context.Context, enc []byte, spec Spec) (*Wire
 			lastErr = err
 			continue
 		}
+		var ra *retryAfterError
+		if errors.As(err, &ra) {
+			// Over this client's rate limit or quota on that peer: the peer
+			// is healthy (no cooldown pressure), the job just has to wait.
+			// Honor Retry-After and try the same peer again, a bounded number
+			// of times per job so a saturated quota eventually surfaces.
+			p.noteSuccess()
+			lastErr = err
+			if rateRetries < maxRateRetries {
+				rateRetries++
+				if err := sleepCtx(ctx, ra.delay); err != nil {
+					return nil, err
+				}
+				i-- // revisit the same peer after the advertised delay
+			}
+			continue
+		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
@@ -298,8 +341,54 @@ func (c *Client) AnalyzeBytes(ctx context.Context, enc []byte, spec Spec) (*Wire
 	return nil, fmt.Errorf("remote: all peers failed: %w", lastErr)
 }
 
+// maxRateRetries bounds how many Retry-After backoffs one job absorbs
+// before its 429 is reported to the caller (which falls back locally).
+const maxRateRetries = 2
+
+// newIdemKey returns a fresh 128-bit idempotency key, or "" if the
+// system's entropy source fails (the submission then simply isn't
+// deduplicable — strictly the pre-idempotency behavior).
+func newIdemKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return "dp-" + hex.EncodeToString(b[:])
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// parseRetryAfter reads a 429's Retry-After header (delta-seconds form).
+// Missing or malformed values back off half a second; advertised delays
+// are capped so a hostile peer cannot park the coordinator for minutes.
+func parseRetryAfter(h string) time.Duration {
+	const (
+		fallback = 500 * time.Millisecond
+		maxDelay = 10 * time.Second
+	)
+	n, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || n < 0 {
+		return fallback
+	}
+	d := time.Duration(n) * time.Second
+	if d > maxDelay {
+		return maxDelay
+	}
+	return d
+}
+
 // analyzeOn runs one submit-and-poll attempt against a single peer.
-func (c *Client) analyzeOn(ctx context.Context, p *peer, enc []byte, spec Spec) (*WireReport, error) {
+func (c *Client) analyzeOn(ctx context.Context, p *peer, enc []byte, spec Spec, idemKey string) (*WireReport, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.opt.JobTimeout)
 	defer cancel()
 	p.requests.Add(1)
@@ -317,6 +406,10 @@ func (c *Client) analyzeOn(ctx context.Context, p *peer, enc []byte, spec Spec) 
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	c.authorize(req)
 	resp, err := c.opt.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err
@@ -328,6 +421,9 @@ func (c *Client) analyzeOn(ctx context.Context, p *peer, enc []byte, spec Spec) 
 	}
 	switch {
 	case resp.StatusCode == http.StatusAccepted:
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return nil, &retryAfterError{peer: p.url,
+			delay: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	case resp.StatusCode >= 400 && resp.StatusCode < 500:
 		return nil, &RemoteError{Peer: p.url, Rejected: true,
 			Msg: fmt.Sprintf("rejected submission: %s", errBody(payload))}
@@ -369,6 +465,13 @@ func (c *Client) analyzeOn(ctx context.Context, p *peer, enc []byte, spec Spec) 
 	}
 }
 
+// authorize attaches the configured bearer token, when there is one.
+func (c *Client) authorize(req *http.Request) {
+	if c.opt.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opt.Token)
+	}
+}
+
 type wireJobView struct {
 	State  string      `json:"state"`
 	Error  string      `json:"error"`
@@ -381,6 +484,7 @@ func (c *Client) pollJob(ctx context.Context, p *peer, id string) (*wireJobView,
 	if err != nil {
 		return nil, err
 	}
+	c.authorize(req)
 	resp, err := c.opt.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err

@@ -33,11 +33,33 @@ type fakePeer struct {
 	//   reject         400 every submission
 	//   failjob        accept, then report the analysis as failed
 	//   evict          accept, then 404 every poll (jobStore evicted it)
+	//   ratelimit      429 + Retry-After every submission (never admits)
+	//   ratelimit-once 429 + Retry-After while rateLeft > 0, then ok
 	mode atomic.Value
 
-	submits atomic.Int64
-	done    atomic.Int64
-	nextID  atomic.Int64
+	submits  atomic.Int64
+	done     atomic.Int64
+	nextID   atomic.Int64
+	rateLeft atomic.Int64 // remaining 429s in ratelimit-once mode
+
+	mu    sync.Mutex
+	keys  []string // Idempotency-Key header per submission
+	auths []string // Authorization header per request (submits and polls)
+}
+
+func (p *fakePeer) record(r *http.Request, submission bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if submission {
+		p.keys = append(p.keys, r.Header.Get("Idempotency-Key"))
+	}
+	p.auths = append(p.auths, r.Header.Get("Authorization"))
+}
+
+func (p *fakePeer) seenKeys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.keys...)
 }
 
 func newFakePeer(mode string) *fakePeer {
@@ -46,6 +68,7 @@ func newFakePeer(mode string) *fakePeer {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		p.submits.Add(1)
+		p.record(r, true)
 		switch p.mode.Load().(string) {
 		case "unavailable":
 			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
@@ -57,12 +80,23 @@ func newFakePeer(mode string) *fakePeer {
 			w.WriteHeader(http.StatusAccepted)
 			fmt.Fprint(w, "]]]] this is not json")
 			return
+		case "ratelimit":
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"over quota"}`, http.StatusTooManyRequests)
+			return
+		case "ratelimit-once":
+			if p.rateLeft.Add(-1) >= 0 {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, `{"error":"rate limited"}`, http.StatusTooManyRequests)
+				return
+			}
 		}
 		id := fmt.Sprintf("j%06d", p.nextID.Add(1))
 		w.WriteHeader(http.StatusAccepted)
 		json.NewEncoder(w).Encode(map[string]string{"id": id})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		p.record(r, false)
 		switch p.mode.Load().(string) {
 		case "hang":
 			// Longer than any client timeout used in these tests.
@@ -395,6 +429,140 @@ func TestStageCloseAbortsInFlightJob(t *testing.T) {
 	}
 	if stage.Fallbacks() != 0 || ctx.Profile != nil {
 		t.Fatal("aborted job ran the local fallback")
+	}
+}
+
+// TestRetryAfterBackoffOn429 pins satellite 3: a 429 on submit is not a
+// transport failure. The client must honor the peer's Retry-After, retry
+// the same peer after the delay, and leave its health untouched — even at
+// FailThreshold=1, where misclassifying the 429 would bench the peer for
+// the cooldown.
+func TestRetryAfterBackoffOn429(t *testing.T) {
+	p := newFakePeer("ratelimit-once")
+	p.rateLeft.Store(1) // first submission 429s with Retry-After: 1, then ok
+	defer p.ts.Close()
+
+	opts := fastOpts()
+	opts.JobTimeout = 10 * time.Second
+	c := remote.NewClient([]string{p.ts.URL}, opts)
+	start := time.Now()
+	rep, err := c.AnalyzeBytes(context.Background(), encodedModule(t), remote.Spec{})
+	if err != nil {
+		t.Fatalf("analyze through a transient 429: %v", err)
+	}
+	if rep.Instrs != 42 {
+		t.Fatalf("bad report %+v", rep)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("job completed in %s; the advertised Retry-After was not honored", elapsed)
+	}
+	if got := p.submits.Load(); got != 2 {
+		t.Fatalf("peer saw %d submissions, want 2 (429 then retry)", got)
+	}
+	st := c.Stats()[0]
+	if st.Failures != 0 || !st.Healthy {
+		t.Fatalf("429 counted against peer health: %+v", st)
+	}
+}
+
+// TestRateLimitExhaustedSurfaces bounds the backoff: a peer that never
+// admits the client yields an error after maxRateRetries extra attempts
+// (the stage then falls back locally), still without a health penalty.
+func TestRateLimitExhaustedSurfaces(t *testing.T) {
+	p := newFakePeer("ratelimit") // 429 forever, Retry-After: 0
+	defer p.ts.Close()
+
+	c := remote.NewClient([]string{p.ts.URL}, fastOpts())
+	_, err := c.AnalyzeBytes(context.Background(), encodedModule(t), remote.Spec{})
+	if err == nil {
+		t.Fatal("want an error from a permanently rate-limiting fleet")
+	}
+	if !strings.Contains(err.Error(), "rate-limited") {
+		t.Fatalf("error %q does not name the rate limit", err)
+	}
+	// 1 initial attempt + 2 bounded retries.
+	if got := p.submits.Load(); got != 3 {
+		t.Fatalf("peer saw %d submissions, want 3", got)
+	}
+	st := c.Stats()[0]
+	if st.Failures != 0 || !st.Healthy {
+		t.Fatalf("429s counted against peer health: %+v", st)
+	}
+}
+
+// TestIdempotencyKeyReusedAcrossFailover checks the client generates one
+// key per logical job and presents it to every peer it tries, so a worker
+// that silently kept the first attempt dedupes the retry; a second logical
+// job must get a fresh key.
+func TestIdempotencyKeyReusedAcrossFailover(t *testing.T) {
+	evict := newFakePeer("evict")
+	good := newFakePeer("ok")
+	defer evict.ts.Close()
+	defer good.ts.Close()
+
+	c := remote.NewClient([]string{evict.ts.URL, good.ts.URL}, fastOpts())
+	enc := encodedModule(t)
+	if _, err := c.AnalyzeBytes(context.Background(), enc, remote.Spec{}); err != nil {
+		t.Fatalf("analyze with failover: %v", err)
+	}
+	keys := append(evict.seenKeys(), good.seenKeys()...)
+	if len(keys) != 2 {
+		t.Fatalf("want 2 submissions across the fleet, saw keys %q", keys)
+	}
+	if keys[0] == "" || keys[0] != keys[1] {
+		t.Fatalf("failover attempts carried keys %q, want one reused non-empty key", keys)
+	}
+	first := keys[0]
+
+	// A new logical job must not reuse the old key (it would dedupe onto
+	// the previous job's record).
+	if _, err := c.AnalyzeBytes(context.Background(), enc, remote.Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	all := append(evict.seenKeys(), good.seenKeys()...)
+	last := all[len(all)-1]
+	if last == "" || last == first {
+		t.Fatalf("second job reused key %q", last)
+	}
+}
+
+// TestClientSendsBearerToken checks ClientOptions.Token reaches both the
+// submit and the poll as an Authorization header, and that no header is
+// sent when unset.
+func TestClientSendsBearerToken(t *testing.T) {
+	p := newFakePeer("ok")
+	defer p.ts.Close()
+
+	opts := fastOpts()
+	opts.JobTimeout = 10 * time.Second
+	opts.Token = "sekret-worker-token"
+	c := remote.NewClient([]string{p.ts.URL}, opts)
+	if _, err := c.AnalyzeBytes(context.Background(), encodedModule(t), remote.Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	auths := append([]string(nil), p.auths...)
+	p.mu.Unlock()
+	if len(auths) < 2 {
+		t.Fatalf("want a submit and at least one poll, saw %d requests", len(auths))
+	}
+	for i, a := range auths {
+		if a != "Bearer sekret-worker-token" {
+			t.Fatalf("request %d Authorization = %q", i, a)
+		}
+	}
+
+	bare := remote.NewClient([]string{p.ts.URL}, fastOpts())
+	if _, err := bare.AnalyzeBytes(context.Background(), encodedModule(t), remote.Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	tail := p.auths[len(auths):]
+	p.mu.Unlock()
+	for i, a := range tail {
+		if a != "" {
+			t.Fatalf("tokenless request %d sent Authorization %q", i, a)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"discopop/internal/metrics"
+	"discopop/internal/remote"
 	"discopop/internal/server"
 	"discopop/internal/workloads"
 )
@@ -27,7 +28,10 @@ type node struct {
 
 func bootNode(t *testing.T, cfg server.Config) *node {
 	t.Helper()
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
@@ -261,6 +265,64 @@ func TestE2EThreeNodeInlineAndModule(t *testing.T) {
 	}
 	if busy < 2 {
 		t.Errorf("only %d of 3 workers saw traffic", busy)
+	}
+}
+
+// TestE2EAuthedFleet boots workers that require bearer auth and checks
+// the coordinator's peer token flows through the whole submit-and-poll
+// path, while a coordinator with a bad token is authoritatively rejected
+// and falls back to local analysis instead of benching the workers.
+func TestE2EAuthedFleet(t *testing.T) {
+	tokens := map[string]string{"fleet-token": "coordinator"}
+	w1 := bootNode(t, server.Config{Workers: 1, Tokens: tokens})
+	w2 := bootNode(t, server.Config{Workers: 1, Tokens: tokens})
+	peers := []string{w1.ts.URL, w2.ts.URL}
+
+	coord := bootNode(t, server.Config{
+		Workers: 2,
+		Peers:   peers,
+		Remote:  remote.ClientOptions{Token: "fleet-token"},
+	})
+	view := analyzeOn(t, coord.ts.URL, "histogram")
+	result := view["result"].(map[string]any)
+	if p, _ := result["peer"].(string); p != w1.ts.URL && p != w2.ts.URL {
+		t.Fatalf("authed fleet job served by %q, not a worker", p)
+	}
+	if fb := scrapeCounter(t, coord.ts.URL, "dp_remote_fallbacks_total"); fb != 0 {
+		t.Errorf("authed coordinator fell back %v times", fb)
+	}
+
+	// The wrong token is an authoritative 401: the job must still finish
+	// (local fallback), the workers must count the auth rejections, and
+	// they must not end up marked unhealthy.
+	badCoord := bootNode(t, server.Config{
+		Workers: 2,
+		Peers:   peers,
+		Remote:  remote.ClientOptions{Token: "not-the-token"},
+	})
+	if view := analyzeOn(t, badCoord.ts.URL, "histogram"); view["state"] != "done" {
+		t.Fatalf("mis-authed coordinator job: %v", view)
+	}
+	if fb := scrapeCounter(t, badCoord.ts.URL, "dp_remote_fallbacks_total"); fb != 1 {
+		t.Errorf("mis-authed coordinator fallbacks = %v, want 1", fb)
+	}
+	rejects := 0.0
+	for _, w := range []*node{w1, w2} {
+		resp, err := http.Get(w.ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := metrics.Parse(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := sc.Value("dp_jobs_rejected_total", metrics.L("reason", "auth")); ok {
+			rejects += v
+		}
+	}
+	if rejects == 0 {
+		t.Error("workers counted no auth rejections")
 	}
 }
 

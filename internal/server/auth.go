@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"crypto/subtle"
+	"net/http"
+	"strings"
+)
+
+// Bearer-token authentication for the /v1/* surface. Configured through
+// Config.Tokens (token -> client identity); with no tokens configured the
+// service runs open and every request acts as the anonymous client, which
+// keeps single-node and test deployments zero-config. /healthz and
+// /metrics are always unauthenticated: liveness probes and scrapers must
+// not need credentials.
+//
+// The client identity resolved from the token is what rate limits,
+// quotas, idempotency keys, and journal records are keyed by — two tokens
+// mapping to the same client share one budget.
+
+// anonClient is the identity of every request when auth is disabled.
+const anonClient = "anonymous"
+
+type clientCtxKey struct{}
+
+// clientFrom returns the authenticated client identity stored by the auth
+// wrapper (anonClient when auth is disabled).
+func clientFrom(ctx context.Context) string {
+	if c, ok := ctx.Value(clientCtxKey{}).(string); ok {
+		return c
+	}
+	return anonClient
+}
+
+// auth wraps a /v1 handler with bearer-token authentication. Token
+// comparison is constant-time per entry so a probe cannot binary-search a
+// token byte by byte; the token set is static for the server's lifetime
+// (rotation = restart, journal replay makes that cheap).
+func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
+	if len(s.cfg.Tokens) == 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		tok, ok := bearerToken(r)
+		if ok {
+			client, match := "", false
+			for candidate, id := range s.cfg.Tokens {
+				if subtle.ConstantTimeCompare([]byte(candidate), []byte(tok)) == 1 {
+					client, match = id, true
+				}
+			}
+			if match {
+				ctx := context.WithValue(r.Context(), clientCtxKey{}, client)
+				h(w, r.WithContext(ctx))
+				return
+			}
+		}
+		s.reject(rejectAuth)
+		w.Header().Set("WWW-Authenticate", `Bearer realm="dp-serve"`)
+		writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+	}
+}
+
+// bearerToken extracts the token from "Authorization: Bearer <token>".
+func bearerToken(r *http.Request) (string, bool) {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) <= len(prefix) || !strings.EqualFold(h[:len(prefix)], prefix) {
+		return "", false
+	}
+	return strings.TrimSpace(h[len(prefix):]), true
+}

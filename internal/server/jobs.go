@@ -1,10 +1,14 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"discopop/internal/journal"
 	"discopop/internal/pipeline"
 )
 
@@ -16,6 +20,10 @@ const (
 	jobDone   = "done"
 	jobFailed = "failed"
 )
+
+// errInterrupted is the terminal error recorded for jobs that were in
+// flight when the node died and came back only through journal replay.
+const errInterrupted = "interrupted: node restarted mid-job"
 
 // jobRecord tracks one submission through the service. Mutable fields are
 // guarded by the owning jobStore's lock; doneCh closes exactly once when
@@ -30,6 +38,13 @@ type jobRecord struct {
 	Error     string
 	Result    *jobResult
 
+	// Client is the authenticated identity that submitted the job
+	// (anonClient when auth is disabled); IdemKey is its Idempotency-Key
+	// header, empty when none was sent. Together they key the dedupe
+	// index.
+	Client  string
+	IdemKey string
+
 	doneCh chan struct{}
 }
 
@@ -40,6 +55,7 @@ type jobView struct {
 	Workload  string     `json:"workload"`
 	Scale     int        `json:"scale,omitempty"`
 	State     string     `json:"state"`
+	Client    string     `json:"client,omitempty"`
 	Submitted time.Time  `json:"submitted"`
 	Finished  *time.Time `json:"finished,omitempty"`
 	Error     string     `json:"error,omitempty"`
@@ -85,12 +101,21 @@ type jobStore struct {
 	m      map[string]*jobRecord
 	order  []string // insertion order, for eviction
 	nextid int64
+	// idem maps client+Idempotency-Key to the job that claimed it, so a
+	// retried submission returns the original record instead of re-running
+	// the analysis. Entries live exactly as long as their record.
+	idem map[string]string
 }
 
 func (js *jobStore) init(max int) {
 	js.max = max
 	js.m = map[string]*jobRecord{}
+	js.idem = map[string]string{}
 }
+
+// idemIndexKey scopes an idempotency key to its client: two tenants using
+// the same key must not dedupe onto each other's jobs.
+func idemIndexKey(client, key string) string { return client + "\x00" + key }
 
 func (js *jobStore) nextID() string {
 	js.mu.Lock()
@@ -99,12 +124,30 @@ func (js *jobStore) nextID() string {
 	return fmt.Sprintf("j%06d", js.nextid)
 }
 
-func (js *jobStore) add(rec *jobRecord) {
+// add inserts a record, claiming its idempotency key if it carries one.
+// When the key is already claimed by a live record, that record is
+// returned instead and nothing is inserted: the caller answers with the
+// original job rather than re-running the analysis.
+func (js *jobStore) add(rec *jobRecord) (existing *jobRecord) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
+	if rec.IdemKey != "" {
+		if id, ok := js.idem[idemIndexKey(rec.Client, rec.IdemKey)]; ok {
+			if prior, live := js.m[id]; live {
+				return prior
+			}
+		}
+		js.idem[idemIndexKey(rec.Client, rec.IdemKey)] = rec.ID
+	}
 	js.m[rec.ID] = rec
 	js.order = append(js.order, rec.ID)
-	// Evict the oldest finished records beyond the cap.
+	js.trimLocked()
+	return nil
+}
+
+// trimLocked evicts the oldest finished records beyond the cap. Callers
+// hold js.mu.
+func (js *jobStore) trimLocked() {
 	for len(js.m) > js.max {
 		evicted := false
 		for i, id := range js.order {
@@ -113,7 +156,7 @@ func (js *jobStore) add(rec *jobRecord) {
 				continue
 			}
 			if live {
-				delete(js.m, id)
+				js.removeLocked(old)
 			}
 			js.order = append(js.order[:i], js.order[i+1:]...)
 			evicted = true
@@ -125,11 +168,27 @@ func (js *jobStore) add(rec *jobRecord) {
 	}
 }
 
+// removeLocked deletes a record and its idempotency claim. Callers hold
+// js.mu and fix up js.order themselves.
+func (js *jobStore) removeLocked(rec *jobRecord) {
+	delete(js.m, rec.ID)
+	if rec.IdemKey != "" {
+		key := idemIndexKey(rec.Client, rec.IdemKey)
+		if js.idem[key] == rec.ID {
+			delete(js.idem, key)
+		}
+	}
+}
+
 // drop removes a record that never made it into the engine (queue full).
 func (js *jobStore) drop(id string) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
-	delete(js.m, id)
+	rec, ok := js.m[id]
+	if !ok {
+		return
+	}
+	js.removeLocked(rec)
 	for i, oid := range js.order {
 		if oid == id {
 			js.order = append(js.order[:i], js.order[i+1:]...)
@@ -145,14 +204,28 @@ func (js *jobStore) get(id string) (*jobRecord, bool) {
 	return rec, ok
 }
 
-// finish folds one engine result into its record. A record evicted or
-// dropped in the meantime is ignored.
-func (js *jobStore) finish(r *pipeline.JobResult) {
+// settledJob is what finish reports back for journaling and quota
+// settlement: a snapshot of the terminal record, safe to read without the
+// store lock.
+type settledJob struct {
+	ID     string
+	Client string
+	State  string
+	Error  string
+	Instrs int64
+	Result *jobResult
+	At     time.Time
+}
+
+// finish folds one engine result into its record and reports the
+// settlement. A record evicted or dropped in the meantime yields ok=false
+// (nothing to journal; the quota in-flight slot was released with it).
+func (js *jobStore) finish(r *pipeline.JobResult) (settledJob, bool) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	rec, ok := js.m[r.Name]
 	if !ok {
-		return
+		return settledJob{}, false
 	}
 	rec.Finished = time.Now()
 	if r.Err != nil {
@@ -163,6 +236,84 @@ func (js *jobStore) finish(r *pipeline.JobResult) {
 		rec.Result = summarize(r)
 	}
 	close(rec.doneCh)
+	s := settledJob{
+		ID: rec.ID, Client: rec.Client, State: rec.State,
+		Error: rec.Error, Result: rec.Result, At: rec.Finished,
+	}
+	if rec.Result != nil {
+		s.Instrs = rec.Result.Instrs
+	}
+	return s, true
+}
+
+// restore rebuilds the store from replayed journal records: finished jobs
+// come back terminal with their results, and jobs that were accepted (or
+// started) but never finished — in flight when the node died — are marked
+// failed (interrupted) so their long-pollers get an answer instead of a
+// job that never resolves. Idempotency claims are re-registered, the ID
+// counter resumes past the highest replayed ID, and the returned list
+// names the interrupted jobs so the caller can journal their terminal
+// transition.
+func (js *jobStore) restore(recs []journal.Record) (interrupted []string) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	// Two passes, so the result is insensitive to accepted/finished write
+	// ordering (the accepted append races the submit loop's appends under
+	// load; the log stays a consistent set either way).
+	finished := map[string]journal.Record{}
+	for _, jr := range recs {
+		switch jr.Op {
+		case journal.OpAccepted:
+			if _, dup := js.m[jr.ID]; dup {
+				continue // defensive: accepted twice in a corrupt-ish log
+			}
+			rec := &jobRecord{
+				ID: jr.ID, Workload: jr.Workload, Scale: jr.Scale,
+				Client: jr.Client, IdemKey: jr.IdemKey,
+				State: jobQueued, Submitted: jr.Time,
+				doneCh: make(chan struct{}),
+			}
+			js.m[jr.ID] = rec
+			js.order = append(js.order, jr.ID)
+			if rec.IdemKey != "" {
+				js.idem[idemIndexKey(rec.Client, rec.IdemKey)] = rec.ID
+			}
+			if n, err := strconv.ParseInt(strings.TrimPrefix(jr.ID, "j"), 10, 64); err == nil && n > js.nextid {
+				js.nextid = n
+			}
+		case journal.OpStarted:
+			// State-neutral: accepted-but-unfinished is interrupted either
+			// way; the record exists for forensics.
+		case journal.OpFinished:
+			finished[jr.ID] = jr // last terminal record wins
+		}
+	}
+	for _, id := range js.order {
+		rec := js.m[id]
+		if rec == nil || rec.State != jobQueued {
+			continue
+		}
+		if jr, ok := finished[id]; ok && (jr.State == jobDone || jr.State == jobFailed) {
+			rec.State = jr.State
+			rec.Error = jr.Error
+			rec.Finished = jr.Time
+			if len(jr.Result) > 0 {
+				res := &jobResult{}
+				if err := json.Unmarshal(jr.Result, res); err == nil {
+					rec.Result = res
+				}
+			}
+			close(rec.doneCh)
+			continue
+		}
+		rec.State = jobFailed
+		rec.Error = errInterrupted
+		rec.Finished = time.Now()
+		close(rec.doneCh)
+		interrupted = append(interrupted, id)
+	}
+	js.trimLocked()
+	return interrupted
 }
 
 func summarize(r *pipeline.JobResult) *jobResult {
@@ -200,7 +351,7 @@ func (js *jobStore) snapshot(rec *jobRecord) jobView {
 	defer js.mu.Unlock()
 	v := jobView{
 		ID: rec.ID, Workload: rec.Workload, Scale: rec.Scale,
-		State: rec.State, Submitted: rec.Submitted,
+		State: rec.State, Client: rec.Client, Submitted: rec.Submitted,
 		Error: rec.Error, Result: rec.Result,
 	}
 	if !rec.Finished.IsZero() {

@@ -40,6 +40,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		metrics.V(float64(len(s.pending))))
 	e.Counter("dp_jobs_rejected_total", "Submissions rejected before the engine, by reason.",
 		labeledCounters(&s.rejected, "reason")...)
+	e.Counter("dp_jobs_deduped_total",
+		"Submissions answered from the idempotency index instead of re-running.",
+		metrics.V(float64(s.idemReplays.Load())))
 	e.Gauge("dp_jobs_inflight", "Jobs accepted but not yet completed.",
 		metrics.V(float64(s.accepted.Load())-float64(st.Jobs)))
 	e.Histogram("dp_queue_latency_seconds",
@@ -127,6 +130,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		e.Counter("dp_remote_fallbacks_total",
 			"Jobs analyzed locally because no peer was available.",
 			metrics.V(float64(s.proxy.Fallbacks())))
+	}
+
+	// Durability: the job journal's own accounting, so operators can watch
+	// append/sync volume and spot replay truncation after a crash.
+	if s.journal != nil {
+		js := s.journal.Stats()
+		e.Counter("dp_journal_appends_total", "Records appended to the job journal.",
+			metrics.V(float64(js.Appends)))
+		e.Counter("dp_journal_bytes_total", "Bytes appended to the job journal.",
+			metrics.V(float64(js.Bytes)))
+		e.Counter("dp_journal_syncs_total", "Batched fsyncs of the job journal.",
+			metrics.V(float64(js.Syncs)))
+		e.Gauge("dp_journal_replayed_records", "Records recovered at boot from the journal.",
+			metrics.V(float64(js.Replayed)))
+		e.Gauge("dp_journal_truncated_bytes", "Torn-tail bytes discarded at boot.",
+			metrics.V(float64(js.Truncated)))
 	}
 
 	// Service.

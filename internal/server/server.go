@@ -32,12 +32,15 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"discopop/internal/journal"
 	"discopop/internal/pipeline"
 	"discopop/internal/remote"
 	"discopop/internal/workloads"
@@ -72,6 +75,20 @@ type Config struct {
 	// SubmissionInstrs is the execution budget for inline and serialized
 	// module submissions (0 = maxSubmissionInstrs, negative = unbounded).
 	SubmissionInstrs int64
+	// Tokens maps bearer tokens to client identities. Non-empty enables
+	// authentication on every /v1/* endpoint (401 without a listed token);
+	// /healthz and /metrics stay open. Empty runs the service open, with
+	// every request acting as the anonymous client.
+	Tokens map[string]string
+	// Quotas applies per-client admission control: submission rate,
+	// in-flight, instruction-budget, and module-footprint limits. The
+	// zero value disables all of them.
+	Quotas Quotas
+	// JournalPath enables the crash-safe job journal: every job transition
+	// is appended there and replayed on the next boot, so a restarted node
+	// still answers for pre-restart jobs. Empty keeps records in memory
+	// only.
+	JournalPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -127,13 +144,25 @@ type Server struct {
 	// a plain single-node service.
 	proxy *remote.Stage
 
+	// limits is the per-client admission controller; nil when Config.Quotas
+	// is zero. journal is the durable job log; nil without JournalPath.
+	limits  *limiter
+	journal *journal.Journal
+
+	// idemReplays counts submissions answered from the idempotency index
+	// instead of running (the dp_jobs_deduped_total metric).
+	idemReplays atomic.Int64
+
 	httpReqs sync.Map // endpoint label -> *atomic.Int64
 	rejected sync.Map // rejection reason -> *atomic.Int64
 }
 
 // New starts the service: engine workers, the submitter, and the result
-// collector begin running immediately.
-func New(cfg Config) *Server {
+// collector begin running immediately. With a journal configured, the
+// previous incarnation's job log is replayed first — finished jobs come
+// back with their results and jobs in flight at the crash are settled as
+// failed (interrupted) — before the service accepts traffic.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	cache := pipeline.NewProfileCacheSize(cfg.CacheEntries)
 	opt := pipeline.Options{
@@ -161,16 +190,52 @@ func New(cfg Config) *Server {
 		s.eng = pipeline.NewEngine(opt)
 	}
 	s.jobs.init(cfg.MaxRecords)
+	s.limits = newLimiter(cfg.Quotas)
+	if cfg.JournalPath != "" {
+		jnl, recs, err := journal.Open(cfg.JournalPath)
+		if err != nil {
+			s.eng.Close()
+			return nil, fmt.Errorf("server: open journal: %w", err)
+		}
+		s.journal = jnl
+		interrupted := s.jobs.restore(recs)
+		// Settle the interruptions durably too, so a second restart replays
+		// them as failed instead of re-deriving (and re-timestamping) them.
+		now := time.Now()
+		for _, id := range interrupted {
+			s.journalAppend(journal.Record{
+				Op: journal.OpFinished, ID: id, Time: now,
+				State: jobFailed, Error: errInterrupted,
+			})
+		}
+		if len(recs) > 0 {
+			log.Printf("server: journal %s replayed %d records (%d interrupted)",
+				cfg.JournalPath, len(recs), len(interrupted))
+		}
+	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/analyze", s.count("analyze", s.handleAnalyze))
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.count("job", s.handleJob))
-	s.mux.HandleFunc("GET /v1/jobs", s.count("jobs", s.handleJobs))
-	s.mux.HandleFunc("GET /v1/workloads", s.count("workloads", s.handleWorkloads))
+	s.mux.HandleFunc("POST /v1/analyze", s.count("analyze", s.auth(s.handleAnalyze)))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.count("job", s.auth(s.handleJob)))
+	s.mux.HandleFunc("GET /v1/jobs", s.count("jobs", s.auth(s.handleJobs)))
+	s.mux.HandleFunc("GET /v1/workloads", s.count("workloads", s.auth(s.handleWorkloads)))
 	s.mux.HandleFunc("GET /metrics", s.count("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.count("healthz", s.handleHealthz))
 	go s.submitLoop()
 	go s.collectLoop()
-	return s
+	return s, nil
+}
+
+// journalAppend records one transition; with no journal configured it is a
+// no-op. Append failures (disk full, yanked volume) degrade durability,
+// not availability: the job still runs, the loss is surfaced in the log
+// and the journal's sticky error.
+func (s *Server) journalAppend(rec journal.Record) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Append(rec); err != nil {
+		log.Printf("server: journal append (op=%s id=%s): %v", rec.Op, rec.ID, err)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -193,10 +258,17 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.submitMu.Unlock()
 	select {
 	case <-s.done:
+		if s.journal != nil {
+			return s.journal.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		if s.proxy != nil {
 			s.proxy.Close()
+		}
+		if s.journal != nil {
+			// Flush what we have; the unfinished jobs replay as interrupted.
+			s.journal.Close()
 		}
 		return fmt.Errorf("server: drain interrupted with jobs still in flight: %w", ctx.Err())
 	}
@@ -208,6 +280,9 @@ func (s *Server) Stats() pipeline.FleetStats { return s.eng.Stats() }
 
 func (s *Server) submitLoop() {
 	for j := range s.pending {
+		s.journalAppend(journal.Record{
+			Op: journal.OpStarted, ID: j.Name, Time: time.Now(),
+		})
 		s.eng.Submit(j)
 	}
 	s.eng.Close()
@@ -215,7 +290,21 @@ func (s *Server) submitLoop() {
 
 func (s *Server) collectLoop() {
 	for r := range s.eng.Results() {
-		s.jobs.finish(r)
+		settled, ok := s.jobs.finish(r)
+		if !ok {
+			continue // record evicted while running; nothing to settle
+		}
+		s.limits.finish(settled.Client, settled.Instrs)
+		jr := journal.Record{
+			Op: journal.OpFinished, ID: settled.ID, Time: settled.At,
+			State: settled.State, Error: settled.Error,
+		}
+		if settled.Result != nil {
+			if raw, err := json.Marshal(settled.Result); err == nil {
+				jr.Result = raw
+			}
+		}
+		s.journalAppend(jr)
 	}
 	close(s.done)
 }
@@ -268,12 +357,45 @@ const (
 	rejectSpec      = "spec"
 	rejectDecode    = "decode"
 	rejectQueueFull = "queue_full"
+	rejectAuth      = "auth"
+	rejectRate      = "ratelimit"
+	rejectQuota     = "quota"
 )
 
+// maxIdemKeyLen bounds the Idempotency-Key header: the key is stored per
+// live record and replayed through the journal, so it must not become an
+// amplification channel.
+const maxIdemKeyLen = 128
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	client := clientFrom(r.Context())
 	if s.draining.Load() {
 		s.reject(rejectDraining)
 		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	// Admission runs before the body is read: an over-limit client does
+	// not get to make the node parse megabyte payloads for free.
+	if wait, reason, ok := s.limits.admit(client); !ok {
+		s.reject(reason)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
+		writeError(w, http.StatusTooManyRequests,
+			"client %q over %s limit; retry later", client, reason)
+		return
+	}
+	// The admitted in-flight slot is held until the job settles
+	// (limiter.finish in collectLoop); every earlier exit returns it here.
+	keepSlot := false
+	defer func() {
+		if !keepSlot {
+			s.limits.release(client)
+		}
+	}()
+	idemKey := strings.TrimSpace(r.Header.Get("Idempotency-Key"))
+	if len(idemKey) > maxIdemKeyLen {
+		s.reject(rejectSpec)
+		writeError(w, http.StatusBadRequest,
+			"Idempotency-Key longer than %d bytes", maxIdemKeyLen)
 		return
 	}
 	var req analyzeRequest
@@ -288,13 +410,38 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if !s.limits.admitModuleBytes(len(req.Module)) {
+		s.reject(rejectQuota)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"module payload %d bytes over the per-submission quota of %d",
+			len(req.Module), s.cfg.Quotas.MaxModuleBytes)
+		return
+	}
 	job, rec, reason, err := s.buildJob(&req)
 	if err != nil {
 		s.reject(reason)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.jobs.add(rec)
+	rec.Client = client
+	rec.IdemKey = idemKey
+	if existing := s.jobs.add(rec); existing != nil {
+		// A retry of a job we already hold: answer with the original record
+		// instead of running the analysis twice. Coordinator failover leans
+		// on this — a worker that accepted the first attempt dedupes the
+		// second.
+		s.idemReplays.Add(1)
+		view := s.jobs.snapshot(existing)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Location", "/v1/jobs/"+view.ID)
+		w.Header().Set("Idempotency-Replay", "true")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{
+			"id": view.ID, "state": view.State, "url": "/v1/jobs/" + view.ID,
+		})
+		return
+	}
 	s.submitMu.Lock()
 	if s.draining.Load() {
 		s.submitMu.Unlock()
@@ -306,7 +453,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.pending <- job:
 		s.accepted.Add(1)
+		// Journal inside the enqueue critical section so an accepted record
+		// exists for every job the submit loop will ever see, and rejected
+		// submissions never leave dangling accepted records behind.
+		s.journalAppend(journal.Record{
+			Op: journal.OpAccepted, ID: rec.ID, Time: rec.Submitted,
+			Workload: rec.Workload, Scale: rec.Scale,
+			Client: client, IdemKey: idemKey,
+		})
 		s.submitMu.Unlock()
+		keepSlot = true
 	default:
 		s.submitMu.Unlock()
 		s.jobs.drop(rec.ID)
