@@ -8,6 +8,7 @@
 //
 //	dp-discover -workload CG [-scale 1] [-threads 16] [-bottomup] [-cus] [-v]
 //	dp-discover -workload CG,EP,kmeans -jobs 4
+//	dp-discover -workload CG -cpuprofile cpu.pprof -memprofile mem.pprof
 //	dp-discover -workload all -stats
 //	dp-discover -workload all -remote http://10.0.0.7:8080,http://10.0.0.8:8080
 //
@@ -30,11 +31,16 @@ import (
 	"discopop"
 	"discopop/internal/ir"
 	"discopop/internal/pipeline"
+	"discopop/internal/profflag"
 	"discopop/internal/remote"
 	"discopop/internal/workloads"
 )
 
-func main() {
+// main defers to run so that deferred cleanups — notably the pprof Stop —
+// fire before the exit code is surrendered to os.Exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		workload = flag.String("workload", "", "workload name(s), comma-separated, or \"all\"")
 		scale    = flag.Int("scale", 1, "workload scale factor")
@@ -48,15 +54,21 @@ func main() {
 		remotes  = flag.String("remote", "", "comma-separated dp-serve worker URLs; analyze on the fleet")
 		noBC     = flag.Bool("no-bytecode", false, "run targets on the reference tree-walking engine instead of the bytecode VM")
 	)
+	pf := profflag.Register()
 	flag.Parse()
 	if *workload == "" {
 		fmt.Fprintln(os.Stderr, "usage: dp-discover -workload <name>[,<name>...] (dp-profile -list shows names)")
-		os.Exit(2)
+		return 2
 	}
+	if err := pf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer pf.Stop()
 	progs, err := workloads.BuildBatch(*workload, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	var batch []discopop.Job
 	for _, prog := range progs {
@@ -64,11 +76,11 @@ func main() {
 	}
 	if *dot != "" && len(batch) > 1 {
 		fmt.Fprintln(os.Stderr, "dp-discover: -dot supports a single workload (stdout is one Graphviz document)")
-		os.Exit(2)
+		return 2
 	}
 	if *remotes != "" && (*dot != "" || *showCUs) {
 		fmt.Fprintln(os.Stderr, "dp-discover: -cus/-dot need the in-process CU graph and cannot combine with -remote")
-		os.Exit(2)
+		return 2
 	}
 	opt := discopop.Options{
 		Threads:      *threads,
@@ -119,8 +131,9 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // analyzeRemote fans the batch out over dp-serve workers: the engine's

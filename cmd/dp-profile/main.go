@@ -10,6 +10,7 @@
 //	dp-profile -workload kmeans [-scale 1] [-store sig|perfect]
 //	           [-slots N] [-workers N] [-skip] [-mt] [-o deps.txt] [-pet]
 //	dp-profile -workload kmeans,CG,EP -jobs 4
+//	dp-profile -workload CG -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -19,11 +20,16 @@ import (
 	"strings"
 
 	"discopop/internal/pipeline"
+	"discopop/internal/profflag"
 	"discopop/internal/profiler"
 	"discopop/internal/workloads"
 )
 
-func main() {
+// main defers to run so that deferred cleanups — notably the pprof Stop —
+// fire before the exit code is surrendered to os.Exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		workload = flag.String("workload", "", "workload name(s), comma-separated, or \"all\" (see -list)")
 		scale    = flag.Int("scale", 1, "workload scale factor")
@@ -37,14 +43,20 @@ func main() {
 		withPET  = flag.Bool("pet", false, "also print the program execution tree")
 		list     = flag.Bool("list", false, "list available workloads")
 	)
+	pf := profflag.Register()
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer pf.Stop()
 	if *list || *workload == "" {
 		fmt.Println("available workloads:")
 		for _, suite := range workloads.Suites() {
 			fmt.Printf("  %-14s %s\n", suite+":", strings.Join(workloads.Names(suite), " "))
 		}
 		if *workload == "" {
-			os.Exit(0)
+			return 0
 		}
 	}
 	popt := profiler.Options{Slots: *slots, Skip: *skip, Workers: *workers, MT: *mt}
@@ -55,7 +67,7 @@ func main() {
 	progs, err := workloads.BuildBatch(*workload, *scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	var batch []pipeline.Job
 	for _, prog := range progs {
@@ -100,14 +112,15 @@ func main() {
 		// Leave any existing -o file untouched on failure: a partial
 		// batch must not clobber a good dependence file from a prior run.
 		fmt.Fprintln(os.Stderr, "dp-profile: some jobs failed; output not written")
-		os.Exit(1)
+		return 1
 	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(output), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	} else {
 		fmt.Print(output)
 	}
+	return 0
 }

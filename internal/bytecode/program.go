@@ -1,5 +1,7 @@
 package bytecode
 
+import "sync"
+
 // Program is a compiled module: one flat instruction stream shared by every
 // function, plus per-function metadata. A Program holds no pointers into
 // the module it was compiled from — every reference is a table index or a
@@ -19,6 +21,11 @@ type Program struct {
 	NumOps int32
 	// Fused counts instructions eliminated by superinstruction fusion.
 	Fused int
+
+	// Lazily built packed-sink operand table (see Trace). It rides the
+	// cached Program pointer, so content-hash cache hits share it.
+	traceOnce sync.Once
+	trace     *TraceInfo
 }
 
 // FuncInfo is the execution metadata of one function.

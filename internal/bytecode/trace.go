@@ -1,0 +1,77 @@
+package bytecode
+
+import "discopop/internal/ir"
+
+// This file is the compile-time half of the instrumentation: the packed
+// sink identity of every access a program can emit is a pure function of
+// the instruction stream (source location and variable index are static),
+// so it is computed once per compiled program instead of once per dynamic
+// access. The dynamic half — thread ID, timestamp, address — is all the VM
+// has to supply per event.
+
+// PackSink packs the static part of an access's sink identity — file(10) |
+// line(22) | var(16) — into the upper bits of the shadow-memory info word.
+// Bits 8..15 hold the dynamic thread ID (SinkThread) and the low 8 bits
+// stay zero. The file field is always >= 1, so a packed sink is non-zero
+// and a zero word can mean "empty" in signature entries.
+func PackSink(loc ir.Loc, varID int32) uint64 {
+	return uint64(uint32(loc.File))<<54 | uint64(uint32(loc.Line)&0x3FFFFF)<<32 |
+		uint64(uint32(varID)&0xFFFF)<<16
+}
+
+// SinkThread returns the thread-ID bits of a packed sink word; OR it into a
+// PackSink result to complete the dynamic part of the identity.
+func SinkThread(tid int32) uint64 { return uint64(uint32(tid)&0xFF) << 8 }
+
+// TraceInfo carries the per-pc packed sink words of a program: S1[pc] and
+// S2[pc] are the sinks of the first and second access event instruction pc
+// emits on its fast path (0 when the instruction emits fewer). Only the
+// opcodes whose dispatch arms consult the table are populated; instructions
+// that always take the interpreter's slow access path (OpForInit, call
+// parameter stores) pack their sink at runtime instead.
+type TraceInfo struct {
+	S1 []uint64
+	S2 []uint64
+}
+
+// Trace returns the program's packed-sink operand table, building it on
+// first use. Programs are memoized by module content hash (Shared), so the
+// table is built once per distinct module and shared by every traced run —
+// the packing cost moves from per-access to per-compile.
+func (p *Program) Trace() *TraceInfo {
+	p.traceOnce.Do(func() { p.trace = buildTrace(p) })
+	return p.trace
+}
+
+func buildTrace(p *Program) *TraceInfo {
+	t := &TraceInfo{S1: make([]uint64, len(p.Code)), S2: make([]uint64, len(p.Code))}
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		switch in.Op {
+		case OpLoadG, OpLoadL, OpLoadGI, OpLoadLI,
+			OpStoreG, OpStoreL, OpStoreGI, OpStoreLI,
+			OpBinStoreL, OpBinStoreG, OpStoreCL, OpStoreCG:
+			t.S1[pc] = PackSink(in.Loc, in.B)
+		case OpForTest:
+			// Induction-variable test load; the synthetic op ID stays in the
+			// instruction operands.
+			t.S1[pc] = PackSink(in.Loc, in.A)
+		case OpForHeadC:
+			// The iv test load sits in S2 for every OpForHead* variant (S1
+			// is the fused bound load, absent for the constant-bound form).
+			t.S2[pc] = PackSink(in.Loc, in.A)
+		case OpForInc, OpForIncC:
+			// Increment load, then increment store: same line, same variable.
+			s := PackSink(in.Loc, in.A)
+			t.S1[pc] = s
+			t.S2[pc] = s
+		case OpForHeadL, OpForHeadG:
+			t.S1[pc] = PackSink(in.Loc, in.E) // fused bound load, emitted first
+			t.S2[pc] = PackSink(in.Loc, in.A) // induction-variable test load
+		case OpLoadLL, OpIdxLoadL, OpIdxLoadG, OpIdxStoreL, OpIdxStoreG:
+			t.S1[pc] = PackSink(in.Loc, in.B)
+			t.S2[pc] = PackSink(in.Loc, in.E)
+		}
+	}
+	return t
+}

@@ -1,0 +1,154 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+
+	"discopop/internal/ir"
+	"discopop/internal/workloads"
+)
+
+// This file is the acceptance harness for the batched tracing path: the
+// 32-byte Ev stream, replayed through ReplayBatch, must reproduce the
+// per-event Tracer call sequence bit for bit — same fields, same order,
+// same reconstructed timestamps and loop stacks — on every bundled
+// workload and across runtime-error panics.
+
+// runReplayed drives the VM in batch mode and expands the stream back into
+// per-event calls: MultiTracer batches (it implements BatchTracer) and
+// replays to the legacy hasher child via ReplayBatch.
+func runReplayed(m *ir.Module, opts ...Option) engineRun {
+	th := &traceHasher{sum: fnvOffset}
+	it := New(m, &MultiTracer{Tracers: []Tracer{th}}, opts...)
+	ret := it.Run()
+	return engineRun{
+		sum: th.sum, events: th.events, ret: ret,
+		instrs: it.Instrs, loads: it.Loads, stores: it.Stores,
+	}
+}
+
+// TestBatchedReplayMatchesPerEvent: for every bundled workload the batched
+// event stream, replayed, hashes identically to both the direct per-event
+// VM trace and the reference tree walker's. This pins down everything the
+// packing touches: kind/thread extraction from the Sink word, the
+// counted-not-carried timestamps, EvExitRegion's instruction count riding
+// in the Loc field, and loop-stack reconstruction from EvLoopPush.
+func TestBatchedReplayMatchesPerEvent(t *testing.T) {
+	for _, name := range workloads.Names("") {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m := workloads.MustBuild(name, 1).M
+			walk := runEngine(m, WithTreeWalk())
+			per := runEngine(m)
+			rep := runReplayed(m)
+			if per.sum != rep.sum || per.events != rep.events {
+				t.Errorf("replayed batch diverged from per-event VM: %016x (%d events) vs %016x (%d events)",
+					rep.sum, rep.events, per.sum, per.events)
+			}
+			if walk.sum != rep.sum {
+				t.Errorf("replayed batch diverged from walker: %016x vs %016x", rep.sum, walk.sum)
+			}
+			if rep.instrs != per.instrs || rep.ret != per.ret {
+				t.Errorf("counters diverged: replayed %d instrs (ret %d), per-event %d (ret %d)",
+					rep.instrs, rep.ret, per.instrs, per.ret)
+			}
+		})
+	}
+}
+
+// oobModule builds a module whose 7th store lands outside the bound of a
+// 4-element global array.
+func oobModule() *ir.Module {
+	b := ir.NewBuilder("oob")
+	arr := b.GlobalArray("arr", ir.F64, 4)
+	fb := b.Func("main")
+	fb.For("i", ir.CI(0), ir.CI(10), ir.CI(1), func(i *ir.Var) {
+		fb.SetAt(arr, ir.V(i), ir.CF(1))
+	})
+	return b.Build(fb.Done())
+}
+
+// boundsTracer records every delivered access address, embedded under the
+// hasher's event accounting.
+type boundsTracer struct {
+	traceHasher
+	maxAddr  uint64
+	accesses int
+}
+
+func (bt *boundsTracer) Load(a Access)  { bt.seen(a); bt.traceHasher.Load(a) }
+func (bt *boundsTracer) Store(a Access) { bt.seen(a); bt.traceHasher.Store(a) }
+func (bt *boundsTracer) seen(a Access) {
+	bt.accesses++
+	if a.Addr > bt.maxAddr {
+		bt.maxAddr = a.Addr
+	}
+}
+
+// runToPanic drives a traced run to completion or panic, returning the
+// panic message ("" if none).
+func runToPanic(m *ir.Module, tr Tracer, opts ...Option) (msg string) {
+	it := New(m, tr, opts...)
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprint(r)
+		}
+	}()
+	it.Run()
+	return
+}
+
+// TestFaultingAccessEmitsNoEvent: an out-of-range access panics on every
+// engine path — walker, per-event VM, batched VM — *without* feeding the
+// bogus address to the tracer, and with the pre-fault prefix of the trace
+// delivered identically (the batch buffer is flushed before the panic
+// propagates). The bounds check preceding event emission is a PR 8 fix:
+// the batched fast paths briefly emitted the event before the bound test,
+// poisoning the dependence table of any consumer that recovers.
+func TestFaultingAccessEmitsNoEvent(t *testing.T) {
+	type variant struct {
+		name string
+		run  func(m *ir.Module, bt *boundsTracer) string
+	}
+	variants := []variant{
+		{"treewalk", func(m *ir.Module, bt *boundsTracer) string {
+			return runToPanic(m, bt, WithTreeWalk())
+		}},
+		{"vm-per-event", func(m *ir.Module, bt *boundsTracer) string {
+			return runToPanic(m, bt)
+		}},
+		{"vm-batched", func(m *ir.Module, bt *boundsTracer) string {
+			return runToPanic(m, &MultiTracer{Tracers: []Tracer{bt}})
+		}},
+	}
+	type outcome struct {
+		msg      string
+		sum      uint64
+		events   int64
+		accesses int
+	}
+	var ref outcome
+	for i, v := range variants {
+		m := oobModule()
+		bound := New(m, nil).Space().Bound()
+		bt := &boundsTracer{traceHasher: traceHasher{sum: fnvOffset}}
+		msg := v.run(m, bt)
+		if msg == "" {
+			t.Fatalf("%s: out-of-range store did not panic", v.name)
+		}
+		if bt.maxAddr >= bound {
+			t.Errorf("%s: faulting address %d (bound %d) was delivered to the tracer",
+				v.name, bt.maxAddr, bound)
+		}
+		got := outcome{msg, bt.sum, bt.events, bt.accesses}
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Errorf("%s diverged from %s across the fault:\n  %+v\n  %+v",
+				v.name, variants[0].name, got, ref)
+		}
+	}
+}

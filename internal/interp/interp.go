@@ -146,6 +146,12 @@ type Interp struct {
 	nextOp    int32
 	maxInstrs int64 // 0 = unbounded
 
+	// Batched tracing (VM only; see batch.go): non-nil batch switches
+	// event emission from per-event Tracer calls to Ev records appended to
+	// evs and flushed in chunks.
+	batch BatchTracer
+	evs   []Ev
+
 	prog      *bytecode.Program // nil under WithTreeWalk
 	pairStats *bytecode.PairStats
 
@@ -218,6 +224,9 @@ func New(m *ir.Module, t Tracer, opts ...Option) *Interp {
 		}
 		it.pairStats = cfg.pairStats
 	}
+	if it.tracer != nil {
+		it.enableBatch()
+	}
 	return it
 }
 
@@ -261,6 +270,7 @@ func (it *Interp) Run() int64 {
 			panic("interp: deadlock after main exit")
 		}
 	}
+	it.flushEvents()
 	return it.Instrs
 }
 
@@ -279,33 +289,44 @@ func (it *Interp) heapFree(base uint64, n int) {
 	it.space.Free(base, n)
 }
 
-// Panicf aborts interpretation with a formatted runtime error.
+// Panicf aborts interpretation with a formatted runtime error. Buffered
+// trace events are flushed first, so batch tracers observe everything that
+// preceded the fault, exactly like per-event tracers do.
 func (it *Interp) panicf(format string, args ...any) {
+	it.flushEvents()
 	panic(fmt.Sprintf("interp: "+format, args...))
 }
 
 func (it *Interp) load(t *thread, addr uint64, loc ir.Loc, v *ir.Var, op int32) float64 {
 	it.Loads++
-	if it.tracer != nil {
+	// Bounds come first: an out-of-range access must panic without feeding
+	// a bogus event to the tracer (and through it the dependence table).
+	if addr >= it.space.Bound() {
+		it.panicf("load out of range: %s[%d] at %s", v.Name, addr, loc)
+	}
+	if it.batch != nil {
+		it.pushEv(Ev{Addr: addr, Sink: sinkOf(loc, v, t.id),
+			Loc: loc, A: op, B: int32(v.ID)})
+	} else if it.tracer != nil {
 		it.ts++
 		it.tracer.Load(Access{Addr: addr, Loc: loc, Var: v, Op: op,
 			Thread: t.id, TS: it.ts, Loops: t.loops})
-	}
-	if addr >= it.space.Bound() {
-		it.panicf("load out of range: %s[%d] at %s", v.Name, addr, loc)
 	}
 	return it.space.Load(addr)
 }
 
 func (it *Interp) store(t *thread, addr uint64, val float64, loc ir.Loc, v *ir.Var, op int32) {
 	it.Stores++
-	if it.tracer != nil {
+	if addr >= it.space.Bound() {
+		it.panicf("store out of range: %s[%d] at %s", v.Name, addr, loc)
+	}
+	if it.batch != nil {
+		it.pushEv(Ev{Addr: addr, Sink: sinkOf(loc, v, t.id) | evStoreBit,
+			Loc: loc, A: op, B: int32(v.ID)})
+	} else if it.tracer != nil {
 		it.ts++
 		it.tracer.Store(Access{Addr: addr, Loc: loc, Var: v, Op: op,
 			Thread: t.id, TS: it.ts, Loops: t.loops})
-	}
-	if addr >= it.space.Bound() {
-		it.panicf("store out of range: %s[%d] at %s", v.Name, addr, loc)
 	}
 	it.space.Store(addr, val)
 }

@@ -6,8 +6,47 @@ import "discopop/internal/ir"
 // profiler, the PET builder, and any number of auxiliary observers can watch
 // the same execution. It lives next to the Tracer interface because stage
 // wiring (internal/pipeline) composes tracers before the interpreter runs.
+//
+// MultiTracer is itself a BatchTracer: batches are forwarded whole to every
+// child that supports them, and expanded (once, via ReplayBatch) into
+// per-event calls for the children that do not — so a pipeline composed of
+// a batch-capable profiler and a legacy observer still runs the VM on the
+// batched path.
 type MultiTracer struct {
 	Tracers []Tracer
+
+	split     bool
+	batchers  []BatchTracer
+	replayDst Tracer // non-batch children (one tracer or a nested MultiTracer)
+	rstate    ReplayState
+}
+
+// ProcessBatch implements BatchTracer.
+func (m *MultiTracer) ProcessBatch(mod *ir.Module, evs []Ev) {
+	if !m.split {
+		m.split = true
+		var legacy []Tracer
+		for _, t := range m.Tracers {
+			if bt, ok := t.(BatchTracer); ok {
+				m.batchers = append(m.batchers, bt)
+			} else {
+				legacy = append(legacy, t)
+			}
+		}
+		switch len(legacy) {
+		case 0:
+		case 1:
+			m.replayDst = legacy[0]
+		default:
+			m.replayDst = &MultiTracer{Tracers: legacy}
+		}
+	}
+	for _, bt := range m.batchers {
+		bt.ProcessBatch(mod, evs)
+	}
+	if m.replayDst != nil {
+		ReplayBatch(mod, evs, &m.rstate, m.replayDst)
+	}
 }
 
 // Load implements Tracer.

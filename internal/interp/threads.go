@@ -181,7 +181,7 @@ func (it *Interp) spawnThread(parent *thread, fn *ir.Func, args []argVal) {
 func (it *Interp) execThread(t *thread, fn *ir.Func, args []argVal) {
 	it.nthreads++
 	if it.tracer != nil {
-		it.tracer.ThreadStart(t.id, t.parent)
+		it.evThreadStart(t.id, t.parent)
 	}
 	if it.prog != nil {
 		it.vmCall(t, int32(fn.ID), args, fn.Loc)
@@ -194,7 +194,7 @@ func (it *Interp) execThread(t *thread, fn *ir.Func, args []argVal) {
 		t.parentT.children--
 	}
 	if it.tracer != nil {
-		it.tracer.ThreadEnd(t.id)
+		it.evThreadEnd(t.id)
 	}
 	// The thread is dead; its ID (and stack segment) can be reused by the
 	// next spawn. ID 0 is the main thread and never recycles.

@@ -52,7 +52,7 @@ func (it *Interp) vmCall(t *thread, fi int32, argv []argVal, callLoc ir.Loc) flo
 	}
 	it.checkBudget(callLoc)
 	if it.tracer != nil {
-		it.tracer.EnterFunc(fn, callLoc, t.id)
+		it.evEnterFunc(fn, callLoc, t.id)
 	}
 	startInstrs := it.Instrs
 	spSave := t.sp
@@ -71,7 +71,7 @@ func (it *Interp) vmCall(t *thread, fi int32, argv []argVal, callLoc ir.Loc) flo
 			addr := it.stackAlloc(t, 1)
 			t.slots[slotBase+i] = addr
 			if it.tracer != nil {
-				it.tracer.BindVar(p, addr, 1, t.id)
+				it.evBindVar(p, addr, 1, t.id)
 			}
 			var v float64
 			if argv != nil {
@@ -99,14 +99,14 @@ func (it *Interp) vmCall(t *thread, fi int32, argv []argVal, callLoc ir.Loc) flo
 			base := it.heapAlloc(v.Elems)
 			t.slots[slot] = base
 			if it.tracer != nil {
-				it.tracer.BindVar(v, base, v.Elems, t.id)
+				it.evBindVar(v, base, v.Elems, t.id)
 			}
 			continue
 		}
 		addr := it.stackAlloc(t, v.Elems)
 		t.slots[slot] = addr
 		if it.tracer != nil {
-			it.tracer.BindVar(v, addr, v.Elems, t.id)
+			it.evBindVar(v, addr, v.Elems, t.id)
 		}
 	}
 	ret := it.vmLoop(t, f, slotBase)
@@ -115,18 +115,18 @@ func (it *Interp) vmCall(t *thread, fi int32, argv []argVal, callLoc ir.Loc) flo
 	if it.tracer != nil {
 		for j := len(fn.Locals) - 1; j >= 0; j-- {
 			v := fn.Locals[j]
-			it.tracer.FreeVar(v, t.slots[slotBase+len(fn.Params)+j], v.Elems, t.id)
+			it.evFreeVar(v, t.slots[slotBase+len(fn.Params)+j], v.Elems, t.id)
 		}
 		for i := len(fn.Params) - 1; i >= 0; i-- {
 			if p := fn.Params[i]; p.ByValue {
-				it.tracer.FreeVar(p, t.slots[slotBase+i], 1, t.id)
+				it.evFreeVar(p, t.slots[slotBase+i], 1, t.id)
 			}
 		}
 	}
 	t.slots = t.slots[:slotBase]
 	t.sp = spSave
 	if it.tracer != nil {
-		it.tracer.ExitFunc(fn, it.Instrs-startInstrs, t.id)
+		it.evExitFunc(fn, it.Instrs-startInstrs, t.id)
 	}
 	return ret
 }
@@ -149,11 +149,23 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 	ctrlBase := len(t.ctrl)
 	pc := int(f.Entry)
 	// Hot-path state, stable for the whole run: the address space pointer
-	// and whether a tracer is attached. Untraced loads and stores take the
-	// inlined TryLoad/TryStore path and fall back to the full load/store
-	// (tracing, page materialization, range panics) when it declines.
+	// and the tracing mode. Batched tracing (bt) keeps the inlined
+	// TryLoad/TryStore fast path and appends an event with the compile-time
+	// packed sink operand per access; per-event tracing (trcd) forces every
+	// access through the full load/store slow path; both fall back to the
+	// slow path when the inline attempt declines (page materialization,
+	// range panics).
 	space := it.space
-	trcd := it.tracer != nil
+	trcd := it.tracer != nil && it.batch == nil
+	bt := it.batch != nil
+	tid := t.id
+	var tr1, tr2 []uint64
+	var thr uint64
+	if bt {
+		ti := it.prog.Trace()
+		tr1, tr2 = ti.S1, ti.S2
+		thr = bytecode.SinkThread(tid)
+	}
 	ps := it.pairStats
 	var prevOp bytecode.Opcode
 	for {
@@ -176,6 +188,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				v = it.load(t, addr, in.Loc, vars[in.B], in.C)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: addr, Sink: tr1[pc] | thr, Loc: in.Loc, A: in.C, B: in.B})
+				}
 			}
 			stack[sp] = v
 			sp++
@@ -186,6 +201,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				v = it.load(t, addr, in.Loc, vars[in.B], in.C)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: addr, Sink: tr1[pc] | thr, Loc: in.Loc, A: in.C, B: in.B})
+				}
 			}
 			stack[sp] = v
 			sp++
@@ -205,6 +223,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				val = it.load(t, addr, in.Loc, v, in.C)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: addr, Sink: tr1[pc] | thr, Loc: in.Loc, A: in.C, B: in.B})
+				}
 			}
 			stack[sp-1] = val
 		case bytecode.OpStoreL:
@@ -214,6 +235,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				it.store(t, addr, stack[sp], in.Loc, vars[in.B], in.C)
 			} else {
 				it.Stores++
+				if bt {
+					it.pushEv(Ev{Addr: addr, Sink: tr1[pc] | thr | evStoreBit, Loc: in.Loc, A: in.C, B: in.B})
+				}
 			}
 			if it.mt {
 				it.yieldPoint(t)
@@ -225,6 +249,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				it.store(t, addr, stack[sp], in.Loc, vars[in.B], in.C)
 			} else {
 				it.Stores++
+				if bt {
+					it.pushEv(Ev{Addr: addr, Sink: tr1[pc] | thr | evStoreBit, Loc: in.Loc, A: in.C, B: in.B})
+				}
 			}
 			if it.mt {
 				it.yieldPoint(t)
@@ -245,6 +272,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				it.store(t, addr, stack[sp], in.Loc, v, in.C)
 			} else {
 				it.Stores++
+				if bt {
+					it.pushEv(Ev{Addr: addr, Sink: tr1[pc] | thr | evStoreBit, Loc: in.Loc, A: in.C, B: in.B})
+				}
 			}
 			if it.mt {
 				it.yieldPoint(t)
@@ -331,7 +361,7 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 			it.yieldPoint(t)
 			r := it.mod.Regions[in.A]
 			if it.tracer != nil {
-				it.tracer.EnterRegion(r, t.id)
+				it.evEnterRegion(r, tid)
 			}
 			t.ctrl = append(t.ctrl, vmCtrl{kind: ctrlBranch, region: r, start: it.Instrs})
 			if !cond {
@@ -342,12 +372,12 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 			c := t.ctrl[len(t.ctrl)-1]
 			t.ctrl = t.ctrl[:len(t.ctrl)-1]
 			if it.tracer != nil {
-				it.tracer.ExitRegion(c.region, 0, it.Instrs-c.start, t.id)
+				it.evExitRegion(c.region, 0, it.Instrs-c.start, tid)
 			}
 		case bytecode.OpForEnter:
 			r := it.mod.Regions[in.A]
 			if it.tracer != nil {
-				it.tracer.EnterRegion(r, t.id)
+				it.evEnterRegion(r, tid)
 			}
 			start := it.Instrs
 			var ivAddr uint64
@@ -365,11 +395,12 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 			sp--
 			it.store(t, c.ivAddr, stack[sp], in.Loc, vars[in.A], -4*in.B-1)
 			t.loops = append(t.loops, LoopFrame{Region: in.B})
+			it.evLoopPush(in.B, tid)
 		case bytecode.OpLoopHead:
 			c := &t.ctrl[len(t.ctrl)-1]
 			t.loops[len(t.loops)-1].Iter = c.iters
 			if it.tracer != nil {
-				it.tracer.LoopIter(c.region, c.iters, t.id)
+				it.evLoopIter(c.region, c.iters, tid)
 			}
 		case bytecode.OpForTest:
 			c := &t.ctrl[len(t.ctrl)-1]
@@ -380,6 +411,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				cur = it.load(t, c.ivAddr, in.Loc, vars[in.A], -4*in.B-2)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: c.ivAddr, Sink: tr1[pc] | thr, Loc: in.Loc, A: -4*in.B - 2, B: in.A})
+				}
 			}
 			if !(cur < to) {
 				pc = int(in.C)
@@ -402,12 +436,18 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				cur = it.load(t, c.ivAddr, in.Loc, vars[in.A], -4*in.B-3)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: c.ivAddr, Sink: tr1[pc] | thr, Loc: in.Loc, A: -4*in.B - 3, B: in.A})
+				}
 			}
 			next := cur + stack[sp]
 			if trcd || !space.TryStore(c.ivAddr, next) {
 				it.store(t, c.ivAddr, next, in.Loc, vars[in.A], -4*in.B-4)
 			} else {
 				it.Stores++
+				if bt {
+					it.pushEv(Ev{Addr: c.ivAddr, Sink: tr2[pc] | thr | evStoreBit, Loc: in.Loc, A: -4*in.B - 4, B: in.A})
+				}
 			}
 			c.iters++
 			pc = int(in.C)
@@ -417,15 +457,16 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 			c := t.ctrl[len(t.ctrl)-1]
 			t.ctrl = t.ctrl[:len(t.ctrl)-1]
 			if it.tracer != nil {
-				it.tracer.ExitRegion(c.region, c.iters, it.Instrs-c.start, t.id)
+				it.evExitRegion(c.region, c.iters, it.Instrs-c.start, tid)
 			}
 		case bytecode.OpWhileEnter:
 			r := it.mod.Regions[in.A]
 			if it.tracer != nil {
-				it.tracer.EnterRegion(r, t.id)
+				it.evEnterRegion(r, tid)
 			}
 			t.ctrl = append(t.ctrl, vmCtrl{kind: ctrlLoop, region: r, start: it.Instrs})
 			t.loops = append(t.loops, LoopFrame{Region: in.A})
+			it.evLoopPush(in.A, tid)
 		case bytecode.OpWhileTest:
 			c := &t.ctrl[len(t.ctrl)-1]
 			sp--
@@ -451,14 +492,14 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 			it.block(t, func() bool { return it.mutexes[mid] == 0 })
 			it.mutexes[mid] = t.id + 1
 			if it.tracer != nil {
-				it.tracer.Lock(mid, t.id)
+				it.evLock(mid, tid)
 			}
 			t.ctrl = append(t.ctrl, vmCtrl{kind: ctrlLock, mutex: in.A})
 		case bytecode.OpUnlock:
 			t.ctrl = t.ctrl[:len(t.ctrl)-1]
 			it.mutexes[int(in.A)] = 0
 			if it.tracer != nil {
-				it.tracer.Unlock(int(in.A), t.id)
+				it.evUnlock(int(in.A), tid)
 			}
 		case bytecode.OpSpawn:
 			fn := it.mod.Funcs[in.A]
@@ -481,7 +522,7 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 			base := slots[in.A]
 			it.heapFree(base, v.Elems)
 			if it.tracer != nil {
-				it.tracer.FreeVar(v, base, v.Elems, t.id)
+				it.evFreeVar(v, base, v.Elems, tid)
 			}
 			it.yieldPoint(t)
 		case bytecode.OpPanic:
@@ -494,8 +535,8 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 		case bytecode.OpForHeadC, bytecode.OpForHeadL, bytecode.OpForHeadG:
 			c := &t.ctrl[len(t.ctrl)-1]
 			t.loops[len(t.loops)-1].Iter = c.iters
-			if trcd {
-				it.tracer.LoopIter(c.region, c.iters, t.id)
+			if it.tracer != nil {
+				it.evLoopIter(c.region, c.iters, tid)
 			}
 			it.Instrs++ // the fused bound-eval op's step (walker: after LoopIter)
 			to := in.Val
@@ -511,6 +552,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 					to = it.load(t, addr, in.Loc, vars[in.E], in.F)
 				} else {
 					it.Loads++
+					if bt {
+						it.pushEv(Ev{Addr: addr, Sink: tr1[pc] | thr, Loc: in.Loc, A: in.F, B: in.E})
+					}
 				}
 			}
 			cur, ok := space.TryLoad(c.ivAddr)
@@ -518,6 +562,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				cur = it.load(t, c.ivAddr, in.Loc, vars[in.A], -4*in.B-2)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: c.ivAddr, Sink: tr2[pc] | thr, Loc: in.Loc, A: -4*in.B - 2, B: in.A})
+				}
 			}
 			if !(cur < to) {
 				pc = int(in.C)
@@ -539,12 +586,18 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				cur = it.load(t, c.ivAddr, in.Loc, vars[in.A], -4*in.B-3)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: c.ivAddr, Sink: tr1[pc] | thr, Loc: in.Loc, A: -4*in.B - 3, B: in.A})
+				}
 			}
 			next := cur + in.Val
 			if trcd || !space.TryStore(c.ivAddr, next) {
 				it.store(t, c.ivAddr, next, in.Loc, vars[in.A], -4*in.B-4)
 			} else {
 				it.Stores++
+				if bt {
+					it.pushEv(Ev{Addr: c.ivAddr, Sink: tr2[pc] | thr | evStoreBit, Loc: in.Loc, A: -4*in.B - 4, B: in.A})
+				}
 			}
 			c.iters++
 			pc = int(in.C)
@@ -569,6 +622,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				it.store(t, addr, v, in.Loc, vars[in.B], in.C)
 			} else {
 				it.Stores++
+				if bt {
+					it.pushEv(Ev{Addr: addr, Sink: tr1[pc] | thr | evStoreBit, Loc: in.Loc, A: in.C, B: in.B})
+				}
 			}
 			if it.mt {
 				it.yieldPoint(t)
@@ -582,6 +638,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				it.store(t, addr, in.Val, in.Loc, vars[in.B], in.C)
 			} else {
 				it.Stores++
+				if bt {
+					it.pushEv(Ev{Addr: addr, Sink: tr1[pc] | thr | evStoreBit, Loc: in.Loc, A: in.C, B: in.B})
+				}
 			}
 			if it.mt {
 				it.yieldPoint(t)
@@ -593,12 +652,18 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				v1 = it.load(t, a1, in.Loc, vars[in.B], in.C)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: a1, Sink: tr1[pc] | thr, Loc: in.Loc, A: in.C, B: in.B})
+				}
 			}
 			v2, ok2 := space.TryLoad(a2)
 			if trcd || !ok2 {
 				v2 = it.load(t, a2, in.Loc, vars[in.E], in.F)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: a2, Sink: tr2[pc] | thr, Loc: in.Loc, A: in.F, B: in.E})
+				}
 			}
 			stack[sp] = v1
 			stack[sp+1] = v2
@@ -610,6 +675,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				iv = it.load(t, ia, in.Loc, vars[in.B], in.C)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: ia, Sink: tr1[pc] | thr, Loc: in.Loc, A: in.C, B: in.B})
+				}
 			}
 			idx := int64(iv)
 			v := vars[in.E]
@@ -626,6 +694,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				val = it.load(t, addr, in.Loc, v, in.F)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: addr, Sink: tr2[pc] | thr, Loc: in.Loc, A: in.F, B: in.E})
+				}
 			}
 			stack[sp] = val
 			sp++
@@ -636,6 +707,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				iv = it.load(t, ia, in.Loc, vars[in.B], in.C)
 			} else {
 				it.Loads++
+				if bt {
+					it.pushEv(Ev{Addr: ia, Sink: tr1[pc] | thr, Loc: in.Loc, A: in.C, B: in.B})
+				}
 			}
 			idx := int64(iv)
 			v := vars[in.E]
@@ -652,6 +726,9 @@ func (it *Interp) vmLoop(t *thread, f *bytecode.FuncInfo, slotBase int) float64 
 				it.store(t, addr, stack[sp], in.Loc, v, in.F)
 			} else {
 				it.Stores++
+				if bt {
+					it.pushEv(Ev{Addr: addr, Sink: tr2[pc] | thr | evStoreBit, Loc: in.Loc, A: in.F, B: in.E})
+				}
 			}
 			if it.mt {
 				it.yieldPoint(t)
@@ -673,16 +750,16 @@ func (it *Interp) unwindCtrl(t *thread, base int) {
 		case ctrlLoop:
 			t.loops = t.loops[:len(t.loops)-1]
 			if it.tracer != nil {
-				it.tracer.ExitRegion(c.region, c.iters, it.Instrs-c.start, t.id)
+				it.evExitRegion(c.region, c.iters, it.Instrs-c.start, t.id)
 			}
 		case ctrlBranch:
 			if it.tracer != nil {
-				it.tracer.ExitRegion(c.region, 0, it.Instrs-c.start, t.id)
+				it.evExitRegion(c.region, 0, it.Instrs-c.start, t.id)
 			}
 		case ctrlLock:
 			it.mutexes[int(c.mutex)] = 0
 			if it.tracer != nil {
-				it.tracer.Unlock(int(c.mutex), t.id)
+				it.evUnlock(int(c.mutex), t.id)
 			}
 		}
 	}

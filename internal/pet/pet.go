@@ -166,6 +166,26 @@ func (b *Builder) ExitRegion(r *ir.Region, iters, instrs int64, tid int32) {
 	b.stack[tid] = b.stack[tid][:len(b.stack[tid])-1]
 }
 
+// ProcessBatch implements interp.BatchTracer: the builder consumes only
+// function and loop-region boundaries, so a batch reduces to a switch over
+// four event kinds with every access skipped at one comparison each —
+// keeping the PET in pipelines that run the VM's batched traced path.
+func (b *Builder) ProcessBatch(m *ir.Module, evs []interp.Ev) {
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind() {
+		case interp.EvEnterFunc:
+			b.EnterFunc(m.Funcs[ev.A], ev.Loc, ev.Tid())
+		case interp.EvExitFunc:
+			b.ExitFunc(m.Funcs[ev.A], int64(ev.Addr), ev.Tid())
+		case interp.EvEnterRegion:
+			b.EnterRegion(m.Regions[ev.A], ev.Tid())
+		case interp.EvExitRegion:
+			b.ExitRegion(m.Regions[ev.A], int64(ev.Addr), interp.UnpackI64(ev.Loc), ev.Tid())
+		}
+	}
+}
+
 // Tree finalizes and returns the PET.
 func (b *Builder) Tree(totalInstrs int64) *Tree {
 	b.tree.TotalInstrs = totalInstrs

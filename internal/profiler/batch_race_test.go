@@ -1,0 +1,65 @@
+package profiler
+
+import (
+	"reflect"
+	"testing"
+
+	"discopop/internal/interp"
+	"discopop/internal/workloads"
+)
+
+// TestBatchedMTMatchesPerAccess is the PR 8 multi-threaded differential:
+// on every MT workload, across serial and parallel pipeline configurations,
+// the batched event path must produce a dependence table identical to the
+// per-access ablation's. Running the package under -race additionally
+// checks that batch chunks crossing the profiler's worker pipes (and the
+// MT barrier flushes batchPipe inserts at lock/unlock/thread-end events)
+// stay properly synchronized.
+func TestBatchedMTMatchesPerAccess(t *testing.T) {
+	for _, workers := range []int{0, 2, 4} {
+		for _, name := range workloads.Names("Starbench-MT") {
+			opts := Options{Store: StorePerfect, MT: true, Workers: workers}
+			per := Profile(workloads.MustBuild(name, 1).M,
+				Options{Store: StorePerfect, MT: true, Workers: workers, PerAccess: true})
+			bat := Profile(workloads.MustBuild(name, 1).M, opts)
+			fp, fn := DiffDeps(bat.Deps, per.Deps)
+			if len(fp) != 0 || len(fn) != 0 {
+				t.Errorf("%s (%d workers): batched deps diverged from per-access (fp=%d fn=%d)",
+					name, workers, len(fp), len(fn))
+			}
+			if bat.Accesses != per.Accesses {
+				t.Errorf("%s (%d workers): access counts diverged: batched %d, per-access %d",
+					name, workers, bat.Accesses, per.Accesses)
+			}
+			if !reflect.DeepEqual(bat.Lines, per.Lines) {
+				t.Errorf("%s (%d workers): line counts diverged", name, workers)
+			}
+		}
+	}
+}
+
+// TestBatchedAndReplayedProfilersAgreeInOneRun drives two profilers from a
+// single interpreter run through MultiTracer: the first consumes batches
+// directly, the second is wrapped in PerEvent and sees the replayed
+// per-event expansion of the very same chunks. Their results must be
+// identical — the strongest single-run statement that ProcessBatch and the
+// Tracer methods implement the same semantics.
+func TestBatchedAndReplayedProfilersAgreeInOneRun(t *testing.T) {
+	for _, name := range []string{"CG", "md5-mt", "histogram"} {
+		m := workloads.MustBuild(name, 1).M
+		direct := New(m, Options{Store: StorePerfect})
+		replayed := New(m, Options{Store: StorePerfect})
+		in := interp.New(m, &interp.MultiTracer{Tracers: []interp.Tracer{
+			direct, interp.PerEvent(replayed)}})
+		in.Run()
+		dres, rres := direct.Result(), replayed.Result()
+		fp, fn := DiffDeps(dres.Deps, rres.Deps)
+		if len(fp) != 0 || len(fn) != 0 {
+			t.Errorf("%s: batched and replayed profilers diverged in one run (fp=%d fn=%d)",
+				name, len(fp), len(fn))
+		}
+		if dres.Accesses != rres.Accesses || !reflect.DeepEqual(dres.Lines, rres.Lines) {
+			t.Errorf("%s: accesses/lines diverged: %d vs %d", name, dres.Accesses, rres.Accesses)
+		}
+	}
+}

@@ -121,6 +121,13 @@ type depCell struct {
 type depTable struct {
 	cells []depCell
 	n     int
+	// last is the cell index of the most recent add, kept per dependence
+	// type. An access repeated across loop iterations rebuilds the identical
+	// dependence — but a load/store pair alternates RAW with WAR/WAW, so one
+	// shared slot would thrash; per-type slots make the steady-state cost a
+	// single compare instead of hash+probe. Index 0 is a safe initial/reset
+	// value: if cell 0 is empty its hi is 0, which never equals a real key.
+	last [4]uint64
 }
 
 const depTableInitCap = 1 << 8
@@ -131,6 +138,11 @@ func newDepTable() depTable {
 
 // add merges n occurrences of the packed dependence (hi, lo).
 func (t *depTable) add(hi, lo uint64, n int64) {
+	ty := lo >> depTypeShift
+	if c := &t.cells[t.last[ty]]; c.hi == hi && c.lo == lo {
+		c.n += n
+		return
+	}
 	if t.n*4 >= len(t.cells)*3 {
 		t.grow()
 	}
@@ -139,11 +151,13 @@ func (t *depTable) add(hi, lo uint64, n int64) {
 		c := &t.cells[i]
 		if c.hi == hi && c.lo == lo {
 			c.n += n
+			t.last[ty] = i
 			return
 		}
 		if c.hi == 0 {
 			c.hi, c.lo, c.n = hi, lo, n
 			t.n++
+			t.last[ty] = i
 			return
 		}
 	}
@@ -153,6 +167,7 @@ func (t *depTable) grow() {
 	old := t.cells
 	t.cells = make([]depCell, len(old)*2)
 	t.n = 0
+	t.last = [4]uint64{}
 	for _, c := range old {
 		if c.hi != 0 {
 			t.add(c.hi, c.lo, c.n)

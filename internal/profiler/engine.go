@@ -1,6 +1,7 @@
 package profiler
 
 import (
+	"discopop/internal/bytecode"
 	"discopop/internal/ir"
 	"discopop/internal/sig"
 )
@@ -48,10 +49,12 @@ type migration struct {
 
 // packInfo packs an access's sink identity: file(10) | line(22) | var(16) |
 // thread(8) | 0(8). The file field is always >= 1, so packed info is
-// non-zero and a zero sig.Entry means "empty".
+// non-zero and a zero sig.Entry means "empty". The layout is owned by
+// bytecode.PackSink so the compiler can bake the static half into per-pc
+// operand tables; on the batched path rec.info arrives pre-packed and this
+// function only runs for per-event (walker / legacy tracer) streams.
 func packInfo(loc ir.Loc, varID int32, thread int32) uint64 {
-	return uint64(uint32(loc.File))<<54 | uint64(uint32(loc.Line)&0x3FFFFF)<<32 |
-		uint64(uint32(varID)&0xFFFF)<<16 | uint64(uint32(thread)&0xFF)<<8
+	return bytecode.PackSink(loc, varID) | bytecode.SinkThread(thread)
 }
 
 func unpackLoc(info uint64) ir.Loc {
@@ -115,6 +118,7 @@ type storeOps[S any] interface {
 	*S
 	Get(addr uint64) sig.Entry
 	Put(addr uint64, e sig.Entry)
+	GetSet(addr uint64, e sig.Entry) sig.Entry
 	Remove(addr uint64)
 	MemBytes() int64
 }
@@ -135,10 +139,37 @@ type engine[S any, PS storeOps[S]] struct {
 	tab    *ctxTable
 	mt     bool
 
+	// cc memoizes carriedBy results per (sink ctx, source ctx) pair in a
+	// small direct-mapped cache: consecutive accesses of a loop repeat the
+	// same few context pairs, and the LCA climb is a pointer chase per
+	// level. Context nodes are append-only and immutable, so entries never
+	// go stale; the cache is engine-local, so no synchronization is needed.
+	cc [carryCacheSize]carryMemo
+
 	// Skip optimization (enabled when ops != nil), indexed via lay.
 	ops   []opSkip
 	lay   opLayout
 	stats SkipStats
+}
+
+const carryCacheSize = 256
+
+// carryMemo is one carriedBy cache entry. The zero value is safe: it only
+// matches the query (0, 0), for which carried == false is the right answer
+// (equal contexts are never loop-carried) and reg is then ignored.
+type carryMemo struct {
+	a, b, reg int32
+	carried   bool
+}
+
+// carried is carriedBy through the engine's memo cache.
+func (e *engine[S, PS]) carried(a, b int32) (int32, bool) {
+	m := &e.cc[(uint32(a)*0x9E3779B9+uint32(b))&(carryCacheSize-1)]
+	if m.a != a || m.b != b {
+		reg, ok := e.tab.carriedBy(a, b)
+		*m = carryMemo{a: a, b: b, reg: reg, carried: ok}
+	}
+	return m.reg, m.carried
 }
 
 func newEngine[S any, PS storeOps[S]](readS, writeS S, tab *ctxTable, mt bool, skipOps, skipRegions int32) *engine[S, PS] {
@@ -199,7 +230,7 @@ func (e *engine[S, PS]) addDep(t DepType, r *rec, src sig.Entry) {
 				(r.info>>8&0xFF)<<depSinkThrShift |
 				(src.Info>>8&0xFF)<<depSrcThrShift
 		}
-		if carriedRegion, carried := e.tab.carriedBy(r.ctx, src.Ctx); carried {
+		if carriedRegion, carried := e.carried(r.ctx, src.Ctx); carried {
 			lo |= depCarriedBit | uint64(uint32(carriedRegion+1))&depCarryMask
 		}
 		if r.ts < src.TS {
@@ -209,6 +240,72 @@ func (e *engine[S, PS]) addDep(t DepType, r *rec, src sig.Entry) {
 		}
 	}
 	e.deps.add(hi, lo, 1)
+}
+
+// loadAcc is the scalar no-skip fast path of load: the access identity
+// arrives in registers instead of through a rec, so the batched serial
+// consumer pays no record round trip. Callers must ensure e.ops == nil
+// (skip disabled); with skip state the rec-based load is required.
+func (e *engine[S, PS]) loadAcc(addr, info, ts uint64, op, ctx int32) {
+	e.stats.Reads++
+	we := e.wr().Get(addr)
+	if !we.Empty() {
+		e.stats.DepReads++
+		e.addDepAcc(RAW, info, ctx, ts, we)
+	}
+	e.rd().Put(addr, sig.Entry{Info: info, Ctx: ctx, Op: op, TS: ts})
+}
+
+// storeAcc is the scalar no-skip fast path of store (see loadAcc).
+func (e *engine[S, PS]) storeAcc(addr, info, ts uint64, op, ctx int32) {
+	e.stats.Writes++
+	re := e.rd().Get(addr)
+	we := e.wr().GetSet(addr, sig.Entry{Info: info, Ctx: ctx, Op: op, TS: ts})
+	if we.Empty() {
+		e.addDepAcc(INIT, info, ctx, ts, we)
+		return
+	}
+	wouldWAR := !re.Empty()
+	wouldWAW := re.Empty() || re.TS < we.TS
+	e.stats.DepWrites++
+	if wouldWAR {
+		e.addDepAcc(WAR, info, ctx, ts, re)
+	}
+	if wouldWAW {
+		e.addDepAcc(WAW, info, ctx, ts, we)
+	}
+}
+
+// addDepAcc is addDep with the sink identity in scalars (see loadAcc).
+func (e *engine[S, PS]) addDepAcc(t DepType, info uint64, ctx int32, ts uint64, src sig.Entry) {
+	hi := info &^ 0xFFFFFFFF
+	lo := uint64(t) << depTypeShift
+	if t != INIT {
+		hi |= src.Info >> 32
+		lo |= (info >> 16 & 0xFFFF) << depVarShift
+		if e.mt {
+			lo |= depHasThrBit |
+				(info>>8&0xFF)<<depSinkThrShift |
+				(src.Info>>8&0xFF)<<depSrcThrShift
+		}
+		if carriedRegion, carried := e.carried(ctx, src.Ctx); carried {
+			lo |= depCarriedBit | uint64(uint32(carriedRegion+1))&depCarryMask
+		}
+		if ts < src.TS {
+			lo |= depReversedBit
+		}
+	}
+	e.deps.add(hi, lo, 1)
+}
+
+// processBatch consumes one flushed chunk of access records in a tight
+// loop: one call into the engine per chunk instead of one per access, with
+// the signature pair and the dependence accumulator staying hot across
+// iterations.
+func (e *engine[S, PS]) processBatch(rs []rec) {
+	for i := range rs {
+		e.process(&rs[i])
+	}
 }
 
 func (e *engine[S, PS]) process(r *rec) {
@@ -247,32 +344,40 @@ func (e *engine[S, PS]) load(r *rec) {
 	if wouldRAW {
 		e.stats.DepReads++
 	}
+	if e.ops == nil {
+		// No skip state: the read-status entry is consulted only by the
+		// skip conditions, so the rd-side Get is dead and the round trip
+		// collapses to the Put.
+		if wouldRAW {
+			e.addDep(RAW, r, we)
+		}
+		e.rd().Put(r.addr, e.entry(r))
+		return
+	}
 	re := e.rd().Get(r.addr)
-	if e.ops != nil {
-		st := &e.ops[e.opIdx(r.op)]
-		wc := e.carryRegion(r.ctx, we.Ctx, !we.Empty())
-		if st.lastAddr == r.addr && st.lastR == re.Op && st.lastW == we.Op &&
-			st.lastWCarry == wc {
-			e.stats.SkippedReads++
-			if wouldRAW {
-				e.stats.SkippedDepReads++
-				e.stats.WouldRAW++
-			}
-			if re.Op == r.op && re.Ctx == r.ctx {
-				// Special case (§2.4.3): the shadow update would be a
-				// no-op re-recording of the same operation in the same
-				// iteration context.
-				e.stats.ShadowSkips++
-				return
-			}
-			e.rd().Put(r.addr, e.entry(r))
+	st := &e.ops[e.opIdx(r.op)]
+	wc := e.carryRegion(r.ctx, we.Ctx, !we.Empty())
+	if st.lastAddr == r.addr && st.lastR == re.Op && st.lastW == we.Op &&
+		st.lastWCarry == wc {
+		e.stats.SkippedReads++
+		if wouldRAW {
+			e.stats.SkippedDepReads++
+			e.stats.WouldRAW++
+		}
+		if re.Op == r.op && re.Ctx == r.ctx {
+			// Special case (§2.4.3): the shadow update would be a
+			// no-op re-recording of the same operation in the same
+			// iteration context.
+			e.stats.ShadowSkips++
 			return
 		}
-		st.lastAddr = r.addr
-		st.lastR = re.Op
-		st.lastW = we.Op
-		st.lastWCarry = wc
+		e.rd().Put(r.addr, e.entry(r))
+		return
 	}
+	st.lastAddr = r.addr
+	st.lastR = re.Op
+	st.lastW = we.Op
+	st.lastWCarry = wc
 	if wouldRAW {
 		e.addDep(RAW, r, we)
 	}
@@ -286,7 +391,7 @@ func (e *engine[S, PS]) carryRegion(cur, src int32, present bool) int32 {
 	if !present {
 		return -1
 	}
-	reg, carried := e.tab.carriedBy(cur, src)
+	reg, carried := e.carried(cur, src)
 	if !carried {
 		return -1
 	}
@@ -299,43 +404,62 @@ func (e *engine[S, PS]) carryRegion(cur, src int32, present bool) int32 {
 func (e *engine[S, PS]) store(r *rec) {
 	e.stats.Writes++
 	re := e.rd().Get(r.addr)
+	if e.ops == nil {
+		// No skip state: the old write status is read and immediately
+		// overwritten, so Get+Put fuse into one probe sequence.
+		we := e.wr().GetSet(r.addr, e.entry(r))
+		wouldWAR := !we.Empty() && !re.Empty()
+		wouldWAW := !we.Empty() && (re.Empty() || re.TS < we.TS)
+		if wouldWAR || wouldWAW {
+			e.stats.DepWrites++
+		}
+		if we.Empty() {
+			e.addDep(INIT, r, we)
+		} else {
+			if wouldWAR {
+				e.addDep(WAR, r, re)
+			}
+			if wouldWAW {
+				e.addDep(WAW, r, we)
+			}
+		}
+		return
+	}
 	we := e.wr().Get(r.addr)
 	wouldWAR := !we.Empty() && !re.Empty()
 	wouldWAW := !we.Empty() && (re.Empty() || re.TS < we.TS)
 	if wouldWAR || wouldWAW {
 		e.stats.DepWrites++
 	}
-	if e.ops != nil {
-		st := &e.ops[e.opIdx(r.op)]
-		rc := e.carryRegion(r.ctx, re.Ctx, !re.Empty())
-		wc := e.carryRegion(r.ctx, we.Ctx, !we.Empty())
-		order := re.TS < we.TS
-		if st.lastAddr == r.addr && st.lastR == re.Op && st.lastW == we.Op &&
-			st.lastRCarry == rc && st.lastWCarry == wc && st.lastOrder == order {
-			e.stats.SkippedWrite++
-			if wouldWAR || wouldWAW {
-				e.stats.SkippedDepWrite++
-			}
-			if wouldWAR {
-				e.stats.WouldWAR++
-			}
-			if wouldWAW {
-				e.stats.WouldWAW++
-			}
-			if we.Op == r.op && we.Ctx == r.ctx {
-				e.stats.ShadowSkips++
-				return
-			}
-			e.wr().Put(r.addr, e.entry(r))
+	st := &e.ops[e.opIdx(r.op)]
+	rc := e.carryRegion(r.ctx, re.Ctx, !re.Empty())
+	wc := e.carryRegion(r.ctx, we.Ctx, !we.Empty())
+	order := re.TS < we.TS
+	if st.lastAddr == r.addr && st.lastR == re.Op && st.lastW == we.Op &&
+		st.lastRCarry == rc && st.lastWCarry == wc && st.lastOrder == order {
+		e.stats.SkippedWrite++
+		if wouldWAR || wouldWAW {
+			e.stats.SkippedDepWrite++
+		}
+		if wouldWAR {
+			e.stats.WouldWAR++
+		}
+		if wouldWAW {
+			e.stats.WouldWAW++
+		}
+		if we.Op == r.op && we.Ctx == r.ctx {
+			e.stats.ShadowSkips++
 			return
 		}
-		st.lastAddr = r.addr
-		st.lastR = re.Op
-		st.lastW = we.Op
-		st.lastRCarry = rc
-		st.lastWCarry = wc
-		st.lastOrder = order
+		e.wr().Put(r.addr, e.entry(r))
+		return
 	}
+	st.lastAddr = r.addr
+	st.lastR = re.Op
+	st.lastW = we.Op
+	st.lastRCarry = rc
+	st.lastWCarry = wc
+	st.lastOrder = order
 	if we.Empty() {
 		e.addDep(INIT, r, we)
 	} else {

@@ -130,6 +130,15 @@ func (mp *mtPipe[S, PS]) produce(r rec) {
 // and every worker has consumed everything forwarded to it. After a
 // barrier, all previously produced accesses are fully recorded, which is
 // what pushing inside the lock region guarantees in the paper.
+// produceBatch feeds one flushed chunk through the per-thread relays.
+// Records carry their producing thread in the packed info word, so routing
+// stays per-record; the batching win is the single pipeline call per chunk.
+func (mp *mtPipe[S, PS]) produceBatch(rs []rec) {
+	for i := range rs {
+		mp.produce(rs[i])
+	}
+}
+
 func (mp *mtPipe[S, PS]) barrier() {
 	for _, rl := range mp.relays {
 		if rl == nil {

@@ -159,6 +159,16 @@ func (pp *parallelPipe[S, PS]) produce(r rec) {
 	}
 }
 
+// produceBatch routes one flushed chunk of records. Routing is per-address,
+// so the batch is walked record by record; the win over the per-event path
+// is upstream (one pipeline call per chunk) and downstream (workers consume
+// whole chunks), not here.
+func (pp *parallelPipe[S, PS]) produceBatch(rs []rec) {
+	for i := range rs {
+		pp.produce(rs[i])
+	}
+}
+
 func (pp *parallelPipe[S, PS]) flush(w int) {
 	pw := pp.workers[w]
 	pw.push(pp.cur[w])

@@ -46,6 +46,11 @@ type Options struct {
 	// instead of the bytecode VM. The event streams are identical; the
 	// walker is kept for differential testing and debugging.
 	TreeWalk bool
+	// PerAccess disables batched tracing: the VM delivers every event
+	// through the per-access Tracer interface instead of ProcessBatch
+	// chunks. Ablation and differential-testing knob; results are
+	// identical either way.
+	PerAccess bool
 }
 
 func (o *Options) defaults() {
@@ -101,12 +106,22 @@ type Profiler struct {
 	dumps   []engineDump
 
 	accesses int64
+
+	// recbuf is the reusable access-record buffer of ProcessBatch: one
+	// batch's loads/stores/removes accumulate here and reach the engine (or
+	// pipe) as whole chunks.
+	recbuf []rec
+	// ts reconstructs the interpreter clock on the batched path: batch
+	// events carry no timestamp (the clock ticks exactly once per access, in
+	// stream order), so the consumer counts the accesses itself.
+	ts uint64
 }
 
 // pipe is the non-generic control seam of the worker pipelines: the
-// producer-side hot call plus the merge-time teardown.
+// producer-side hot calls plus the merge-time teardown.
 type pipe interface {
 	produce(r rec)
+	produceBatch(rs []rec)
 	finish() []engineDump
 }
 
@@ -339,6 +354,148 @@ func (p *Profiler) ThreadEnd(tid int32) {
 	}
 }
 
+// ProcessBatch implements interp.BatchTracer: one pass over a flushed event
+// chunk. Access records take the packed sink word verbatim from the event
+// (the VM's compile-time operand tables built it already), so the per-access
+// path is a couple of dense-slice updates plus the engine's own work — the
+// packInfo assembly and all per-event interface dispatch are gone. In serial
+// mode each access is handed straight to the devirtualized engine from a
+// stack record; pipeline modes accumulate records into recbuf and route them
+// as whole chunks. Bookkeeping (contexts, region metrics, line counters, MT
+// barriers) is updated inline in stream order, so the results are
+// bit-identical to the per-event path.
+func (p *Profiler) ProcessBatch(m *ir.Module, evs []interp.Ev) {
+	switch {
+	case p.engP != nil:
+		batchSerial(p, p.engP, m, evs)
+	case p.engS != nil:
+		batchSerial(p, p.engS, m, evs)
+	default:
+		p.batchPipe(m, evs)
+	}
+}
+
+// batchSerial consumes one event chunk directly into a serial engine: no
+// intermediate record buffer, and the load/store calls name the concrete
+// store type.
+func batchSerial[S any, PS storeOps[S]](p *Profiler, e *engine[S, PS], m *ir.Module, evs []interp.Ev) {
+	for i := range evs {
+		ev := &evs[i]
+		// The kind and thread ride in Sink's low 16 bits; the engine takes
+		// the word with the kind byte cleared, which is exactly the packInfo
+		// value the per-access path would have assembled.
+		switch kind := uint8(ev.Sink); kind {
+		case interp.EvLoad:
+			p.accesses++
+			p.ts++
+			p.countLine(ev.A, ev.Loc)
+			ctx := p.cur[ev.Sink>>8&0xFF]
+			if e.ops == nil {
+				e.loadAcc(ev.Addr, ev.Sink, p.ts, ev.A, ctx)
+			} else {
+				r := rec{addr: ev.Addr, info: ev.Sink, ts: p.ts,
+					op: ev.A, ctx: ctx, kind: recLoad}
+				e.load(&r)
+			}
+		case interp.EvStore:
+			p.accesses++
+			p.ts++
+			p.countLine(ev.A, ev.Loc)
+			ctx := p.cur[ev.Sink>>8&0xFF]
+			if e.ops == nil {
+				e.storeAcc(ev.Addr, ev.Sink&^0xFF, p.ts, ev.A, ctx)
+			} else {
+				r := rec{addr: ev.Addr, info: ev.Sink &^ 0xFF, ts: p.ts,
+					op: ev.A, ctx: ctx, kind: recStore}
+				e.store(&r)
+			}
+		case interp.EvFreeVar:
+			// The per-event path routes each removed element through route(),
+			// which counts it in accesses; keep that observable tally.
+			p.accesses += int64(ev.B)
+			for j := int32(0); j < ev.B; j++ {
+				e.rd().Remove(ev.Addr + uint64(j))
+				e.wr().Remove(ev.Addr + uint64(j))
+			}
+		default:
+			p.controlEv(m, ev)
+		}
+	}
+}
+
+// batchPipe is the pipeline-mode batch consumer: accesses and removes
+// accumulate into recbuf and reach the workers as whole chunks.
+func (p *Profiler) batchPipe(m *ir.Module, evs []interp.Ev) {
+	rb := p.recbuf[:0]
+	for i := range evs {
+		ev := &evs[i]
+		switch kind := uint8(ev.Sink); kind {
+		case interp.EvLoad, interp.EvStore:
+			p.accesses++
+			p.ts++
+			p.countLine(ev.A, ev.Loc)
+			k := recLoad
+			if kind == interp.EvStore {
+				k = recStore
+			}
+			rb = append(rb, rec{addr: ev.Addr, info: ev.Sink &^ 0xFF, ts: p.ts,
+				op: ev.A, ctx: p.cur[ev.Sink>>8&0xFF], kind: k})
+		case interp.EvFreeVar:
+			p.accesses += int64(ev.B) // route() counts removes; see batchSerial
+			for j := int32(0); j < ev.B; j++ {
+				rb = append(rb, rec{addr: ev.Addr + uint64(j), kind: recRemove})
+			}
+		case interp.EvLock, interp.EvUnlock, interp.EvThreadEnd:
+			// MT ordering points: everything recorded so far must reach the
+			// workers before the barrier drains them (Figure 2.4c).
+			if p.mtp != nil {
+				rb = p.flushRecs(rb)
+				p.mtp.barrier()
+			}
+		default:
+			p.controlEv(m, ev)
+		}
+	}
+	p.recbuf = p.flushRecs(rb)
+}
+
+// controlEv applies one non-access event's bookkeeping, shared by both batch
+// consumers.
+func (p *Profiler) controlEv(m *ir.Module, ev *interp.Ev) {
+	tid := ev.Tid()
+	switch ev.Kind() {
+	case interp.EvEnterRegion:
+		p.EnterRegion(m.Regions[ev.A], tid)
+	case interp.EvExitRegion:
+		p.ExitRegion(m.Regions[ev.A], int64(ev.Addr), interp.UnpackI64(ev.Loc), tid)
+	case interp.EvLoopIter:
+		p.LoopIter(m.Regions[ev.A], int64(ev.Addr), tid)
+	case interp.EvEnterFunc:
+		p.depth[tid]++
+	case interp.EvExitFunc:
+		p.ExitFunc(m.Funcs[ev.A], int64(ev.Addr), tid)
+	}
+}
+
+// flushRecs hands the accumulated access records to the active engine or
+// pipeline and returns the emptied buffer.
+func (p *Profiler) flushRecs(rb []rec) []rec {
+	if len(rb) == 0 {
+		return rb
+	}
+	switch {
+	case p.engP != nil:
+		p.engP.processBatch(rb)
+	case p.engS != nil:
+		p.engS.processBatch(rb)
+	case p.mtp != nil:
+		p.mtp.produceBatch(rb)
+	default:
+		p.par.produceBatch(rb)
+	}
+	return rb[:0]
+}
+
 // Stop terminates the worker pipelines (if any). It is idempotent; Result
 // calls it internally. Call it directly when the profiled execution
 // unwinds with a panic and no result will be produced — otherwise the
@@ -427,7 +584,11 @@ func Profile(m *ir.Module, opt Options) *Result {
 	if opt.TreeWalk {
 		iopts = append(iopts, interp.WithTreeWalk())
 	}
-	in := interp.New(m, p, iopts...)
+	var tr interp.Tracer = p
+	if opt.PerAccess {
+		tr = interp.PerEvent(p)
+	}
+	in := interp.New(m, tr, iopts...)
 	defer in.Release()
 	in.Run()
 	return p.Result()

@@ -81,6 +81,15 @@ func (s *Signature) Get(addr uint64) Entry { return s.slots[s.idx(addr)] }
 // Put implements Store.
 func (s *Signature) Put(addr uint64, e Entry) { s.slots[s.idx(addr)] = e }
 
+// GetSet records e as the latest status of addr and returns the previous
+// entry — Get and Put in a single slot resolution.
+func (s *Signature) GetSet(addr uint64, e Entry) Entry {
+	i := s.idx(addr)
+	old := s.slots[i]
+	s.slots[i] = e
+	return old
+}
+
 // Remove implements Store.
 func (s *Signature) Remove(addr uint64) { s.slots[s.idx(addr)] = Entry{} }
 
@@ -155,6 +164,29 @@ func (p *Perfect) Put(addr uint64, e Entry) {
 			p.entries[i] = e
 			p.n++
 			return
+		}
+	}
+}
+
+// GetSet records e as the latest status of addr and returns the previous
+// entry (a zero Entry if none) — Get and Put in a single probe sequence,
+// for engine paths that read and immediately overwrite the same address.
+func (p *Perfect) GetSet(addr uint64, e Entry) Entry {
+	if p.n*4 >= len(p.keys)*3 {
+		p.grow()
+	}
+	mask := uint64(len(p.keys) - 1)
+	for i := phash(addr) & mask; ; i = (i + 1) & mask {
+		if p.keys[i] == addr {
+			old := p.entries[i]
+			p.entries[i] = e
+			return old
+		}
+		if p.keys[i] == 0 {
+			p.keys[i] = addr
+			p.entries[i] = e
+			p.n++
+			return Entry{}
 		}
 	}
 }

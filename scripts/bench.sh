@@ -16,14 +16,22 @@
 #   # record, or the stale .out label pollutes the next real regeneration.
 #   COUNT=1 BENCHTIME=1x RESULTS_DIR=$(mktemp -d) BENCH_OUT=/tmp/s.json \
 #     scripts/bench.sh smoke
+#
+# BASELINE_LABEL=<label> switches the diff to another label of the SAME
+# $BENCH_OUT — i.e. a run recorded earlier on this machine (CI records the
+# base commit as "before" in the same job). Same-machine rows carry none of
+# the cross-machine constant factor, so in this mode a regression beyond
+# ±max(2×stddev, ${MIN_THRESHOLD_PCT}%) fails the script instead of only
+# warning.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-after}"
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-20x}"
-BENCH="${BENCH:-BenchmarkProfilerThroughput\$|BenchmarkProfilerThroughputTreeWalk\$|BenchmarkAnalyzeAll\$|BenchmarkInterpNative\$|BenchmarkInterpNativeTreeWalk\$}"
-BENCH_OUT="${BENCH_OUT:-BENCH_PR6.json}"
+BENCH="${BENCH:-BenchmarkProfilerThroughput\$|BenchmarkProfilerThroughputPerAccess\$|BenchmarkProfilerThroughputTreeWalk\$|BenchmarkAnalyzeAll\$|BenchmarkInterpNative\$|BenchmarkInterpNativeTreeWalk\$}"
+BENCH_OUT="${BENCH_OUT:-BENCH_PR8.json}"
+BASELINE_LABEL="${BASELINE_LABEL:-}"
 RESULTS_DIR="${RESULTS_DIR:-scripts/bench-results}"
 
 mkdir -p "$RESULTS_DIR" scripts/bench-results
@@ -81,23 +89,36 @@ vals_for() {
       NF==2 && $1 ~ suf"$" { sub(suf"$", "", $1); print $1, $2 }'
 }
 
-# Diff this run against the newest other BENCH_*.json record ("after"
-# values when present, else its first label).
-base=$(ls -v BENCH_PR*.json 2>/dev/null | grep -vx "$BENCH_OUT" | tail -1 || true)
+# Diff this run against a baseline. With BASELINE_LABEL the baseline is a
+# label of this very $BENCH_OUT — recorded on this machine, so the deltas
+# are gated. Otherwise fall back to the newest other BENCH_*.json record
+# ("after" values when present, else its first label), warn-only.
 delta=scripts/bench-results/delta.md
-if [ -z "$base" ]; then
-  echo "no previous BENCH_*.json to diff against" | tee "$delta"
-  exit 0
-fi
-baselab="after"
-if [ -z "$(vals_for "$base" "$baselab" _ns_per_op)" ]; then
-  baselab=$(sed -n 's/^ *"\([^"]*\)": {.*/\1/p' "$base" | head -1)
+gate=0
+if [ -n "$BASELINE_LABEL" ]; then
+  base="$BENCH_OUT"
+  baselab="$BASELINE_LABEL"
+  gate=1
+  if [ -z "$(vals_for "$base" "$baselab" _ns_per_op)" ]; then
+    echo "BASELINE_LABEL=$baselab not recorded in $base" | tee "$delta"
+    exit 1
+  fi
+else
+  base=$(ls -v BENCH_PR*.json 2>/dev/null | grep -vx "$BENCH_OUT" | tail -1 || true)
+  if [ -z "$base" ]; then
+    echo "no previous BENCH_*.json to diff against" | tee "$delta"
+    exit 0
+  fi
+  baselab="after"
+  if [ -z "$(vals_for "$base" "$baselab" _ns_per_op)" ]; then
+    baselab=$(sed -n 's/^ *"\([^"]*\)": {.*/\1/p' "$base" | head -1)
+  fi
 fi
 # Per-benchmark threshold: ±max(2×stddev of this run as a percentage of
-# its mean, MIN_THRESHOLD_PCT). Rows beyond it are marked and summarized,
-# but never fail the job: cross-machine baselines shift everything by a
-# constant factor, so the gate stays warn-only and a human (or the
-# EXPERIMENTS.md same-machine ablation) arbitrates.
+# its mean, MIN_THRESHOLD_PCT). Cross-file baselines shift everything by a
+# machine constant, so those stay warn-only and a human (or the
+# EXPERIMENTS.md same-machine ablation) arbitrates; same-file
+# BASELINE_LABEL rows were measured on this machine and fail the script.
 MIN_THRESHOLD_PCT="${MIN_THRESHOLD_PCT:-5}"
 {
   echo "### Benchmark delta: \`$label\` vs \`$base\` (\`$baselab\`)"
@@ -109,7 +130,7 @@ MIN_THRESHOLD_PCT="${MIN_THRESHOLD_PCT:-5}"
     vals_for "$BENCH_OUT" "$label" _ns_per_op  | sed 's/^/new /'
     vals_for "$BENCH_OUT" "$label" _mean_ns    | sed 's/^/mean /'
     vals_for "$BENCH_OUT" "$label" _stddev_ns  | sed 's/^/sd /'
-  } | awk -v minthr="$MIN_THRESHOLD_PCT" '
+  } | awk -v minthr="$MIN_THRESHOLD_PCT" -v gate="$gate" '
     $1 == "old"  { old[$2] = $3; next }
     $1 == "mean" { mean[$2] = $3; next }
     $1 == "sd"   { sd[$2] = $3; next }
@@ -135,6 +156,10 @@ MIN_THRESHOLD_PCT="${MIN_THRESHOLD_PCT:-5}"
       if (warned > 0) {
         printf "**%d benchmark(s) beyond their measured-variance threshold:** ", warned
         for (i = 1; i <= warned; i++) printf "%s%s", warn[i], (i < warned ? ", " : "")
+        if (gate) {
+          print " — same-machine baseline: failing."
+          exit 3
+        }
         print " — informational only (thresholds are 2×stddev of this run, floored at ±" minthr "%; cross-machine baselines shift absolute numbers, so rerun on one machine before acting)."
       } else {
         print "All deltas within their measured-variance thresholds (±2×stddev, floored at ±" minthr "%)."
