@@ -9,6 +9,7 @@
 //	dp-discover -workload CG [-scale 1] [-threads 16] [-bottomup] [-cus] [-v]
 //	dp-discover -workload CG,EP,kmeans -jobs 4
 //	dp-discover -workload CG -cpuprofile cpu.pprof -memprofile mem.pprof
+//	dp-discover -workload CG -trace
 //	dp-discover -workload all -stats
 //	dp-discover -workload all -remote http://10.0.0.7:8080,http://10.0.0.8:8080
 //
@@ -53,6 +54,7 @@ func run() int {
 		verbose  = flag.Bool("v", false, "print blocking dependences per loop")
 		remotes  = flag.String("remote", "", "comma-separated dp-serve worker URLs; analyze on the fleet")
 		noBC     = flag.Bool("no-bytecode", false, "run targets on the reference tree-walking engine instead of the bytecode VM")
+		trace    = flag.Bool("trace", false, "print each job's span tree (stage timings; includes worker spans with -remote)")
 	)
 	pf := profflag.Register()
 	flag.Parse()
@@ -103,6 +105,10 @@ func run() int {
 			continue
 		}
 		report(jr.Name, jr.Report, *verbose, *showCUs, *dot)
+		if *trace && jr.Trace != nil {
+			fmt.Println()
+			jr.Trace.WriteText(os.Stdout)
+		}
 	}
 	if *stats {
 		fmt.Printf("\nfleet: %d jobs (%d failed), %d instrs, %d deps, %d accesses, store %.1f MB, busy %s\n",

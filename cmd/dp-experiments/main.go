@@ -19,16 +19,27 @@ import (
 
 	"discopop"
 	"discopop/internal/experiments"
+	"discopop/internal/profflag"
 )
 
-func main() {
+// main defers to run so that deferred cleanups — notably the pprof Stop —
+// fire before the exit code is surrendered to os.Exit.
+func main() { os.Exit(runMain()) }
+
+func runMain() int {
 	var (
 		run   = flag.String("run", "", "experiment ID to run (e.g. table2.6, fig2.9); empty = all")
 		scale = flag.Int("scale", 1, "workload scale factor")
 		par   = flag.Int("par", 0, "concurrent analysis jobs in the ch4/ch5 discovery sweeps (0 = one per CPU)")
 		cache = flag.Bool("cache", true, "share one Profile-stage cache across the discovery sweeps (ch4/ch5 tables re-analyzing a workload skip re-profiling)")
 	)
+	pf := profflag.Register()
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer pf.Stop()
 	experiments.BatchWorkers = *par
 	if *cache {
 		experiments.Cache = discopop.NewProfileCache()
@@ -74,11 +85,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, " %s", e.id)
 		}
 		fmt.Fprintln(os.Stderr)
-		os.Exit(2)
+		return 2
 	}
 	if experiments.Cache != nil {
 		hits, misses := experiments.Cache.Stats()
 		fmt.Printf("profile cache: %d hits, %d misses (each hit skipped one instrumented re-execution)\n",
 			hits, misses)
 	}
+	return 0
 }

@@ -11,6 +11,11 @@
 //	           [-slots N] [-workers N] [-skip] [-mt] [-o deps.txt] [-pet]
 //	dp-profile -workload kmeans,CG,EP -jobs 4
 //	dp-profile -workload CG -cpuprofile cpu.pprof -memprofile mem.pprof
+//	dp-profile -workload CG -pprof cg.pb.gz && go tool pprof -top cg.pb.gz
+//
+// -pprof exports the workload's per-line execution effort (interpreted
+// statements per source line) as a gzipped pprof profile readable by
+// `go tool pprof` — the profiled program's hot lines, not this process's.
 package main
 
 import (
@@ -18,7 +23,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"discopop/internal/obs"
 	"discopop/internal/pipeline"
 	"discopop/internal/profflag"
 	"discopop/internal/profiler"
@@ -41,6 +48,7 @@ func run() int {
 		mt       = flag.Bool("mt", false, "multi-threaded-target pipeline (§2.3.4)")
 		out      = flag.String("o", "", "output file (default stdout)")
 		withPET  = flag.Bool("pet", false, "also print the program execution tree")
+		pprofOut = flag.String("pprof", "", "write per-line execution effort as a gzipped pprof profile (single workload only)")
 		list     = flag.Bool("list", false, "list available workloads")
 	)
 	pf := profflag.Register()
@@ -113,6 +121,23 @@ func run() int {
 		// batch must not clobber a good dependence file from a prior run.
 		fmt.Fprintln(os.Stderr, "dp-profile: some jobs failed; output not written")
 		return 1
+	}
+	if *pprofOut != "" {
+		if len(results) != 1 {
+			fmt.Fprintln(os.Stderr, "dp-profile: -pprof takes exactly one workload")
+			return 1
+		}
+		data, err := obs.EncodeLineProfile("instructions", "count",
+			obs.ModuleLineSamples(progs[0].M, results[0].Report.Profile.Lines),
+			time.Now().UnixNano())
+		if err == nil {
+			err = os.WriteFile(*pprofOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dp-profile: -pprof: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote pprof profile to %s (%d bytes)\n", *pprofOut, len(data))
 	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(output), 0o644); err != nil {

@@ -27,6 +27,10 @@
 // records (results included), and marks the jobs in flight at the crash
 // as failed (interrupted).
 //
+// -debug-addr serves net/http/pprof on a separate listener (bind it to
+// localhost) so live profiling never shares a port with the authed API;
+// -cpuprofile/-memprofile bracket the whole process for offline analysis.
+//
 // On SIGTERM/SIGINT the service drains: the listener closes, queued and
 // running jobs finish, then the process exits. A second signal aborts
 // immediately.
@@ -40,16 +44,20 @@ import (
 	"log"
 	"net"
 	"net/http"
+	nhpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"discopop/internal/profflag"
 	"discopop/internal/server"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		jobs      = flag.Int("jobs", 0, "concurrent analysis workers (0 = one per CPU)")
@@ -68,8 +76,15 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "per-client accepted-but-unfinished job cap (0 = unlimited)")
 		quotaInstrs = flag.Float64("quota-instrs", 0, "per-client interpreted instructions per second (0 = unlimited)")
 		maxModuleKB = flag.Int("max-module-kb", 0, "per-submission serialized-module payload cap in KiB (0 = codec limits only)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (never on the API listener)")
 	)
+	pf := profflag.Register()
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		log.Print("dp-serve: ", err)
+		return 1
+	}
+	defer pf.Stop()
 
 	cacheEntries := *cacheSize
 	if cacheEntries == 0 {
@@ -81,7 +96,8 @@ func main() {
 	}
 	tokenMap, err := loadTokens(*tokens, *tokenFile)
 	if err != nil {
-		log.Fatalf("dp-serve: %v", err)
+		log.Printf("dp-serve: %v", err)
+		return 1
 	}
 	cfg := server.Config{
 		Workers:      *jobs,
@@ -102,7 +118,8 @@ func main() {
 	cfg.Remote.Token = *peerToken
 	svc, err := server.New(cfg)
 	if err != nil {
-		log.Fatalf("dp-serve: %v", err)
+		log.Printf("dp-serve: %v", err)
+		return 1
 	}
 	if len(peerList) > 0 {
 		log.Printf("dp-serve: coordinating a %d-peer fleet: %s", len(peerList), *peers)
@@ -113,10 +130,29 @@ func main() {
 	if *journalPath != "" {
 		log.Printf("dp-serve: journaling jobs to %s", *journalPath)
 	}
+	if *debugAddr != "" {
+		// The profiling endpoints run on their own listener with their own
+		// mux: the API listener stays free of unauthenticated debug
+		// handlers, and an operator binds this one to localhost.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Printf("dp-serve: debug listener: %v", err)
+			return 1
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", nhpprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
+		log.Printf("dp-serve: pprof debug listener on %s", dln.Addr())
+		go http.Serve(dln, dmux)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("dp-serve: %v", err)
+		log.Printf("dp-serve: %v", err)
+		return 1
 	}
 	// The resolved address line is load-bearing for scripts booting on port
 	// 0: they parse the port from it.
@@ -132,7 +168,8 @@ func main() {
 	case sig := <-sigs:
 		log.Printf("dp-serve: %v: draining (in-flight jobs finish; signal again to abort)", sig)
 	case err := <-serveErr:
-		log.Fatalf("dp-serve: %v", err)
+		log.Printf("dp-serve: %v", err)
+		return 1
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
@@ -146,12 +183,14 @@ func main() {
 		log.Printf("dp-serve: http shutdown: %v", err)
 	}
 	if err := svc.Drain(ctx); err != nil {
-		log.Fatalf("dp-serve: %v", err)
+		log.Printf("dp-serve: %v", err)
+		return 1
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("dp-serve: %v", err)
 	}
 	log.Print("dp-serve: drained cleanly")
+	return 0
 }
 
 // loadTokens merges the -tokens inline map ("tok=client,tok=client") with

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+
+	"discopop/internal/ir"
+)
+
+// ModuleLineSamples flattens the profiler's per-line access counts into
+// pprof line samples, resolving each ir.Loc against the module: the file
+// index becomes the registered file name and the containing region names
+// the function, so `go tool pprof` renders real <file>:<line> frames for
+// the analyzed (simulated) program.
+func ModuleLineSamples(mod *ir.Module, lines map[ir.Loc]int64) []LineSample {
+	out := make([]LineSample, 0, len(lines))
+	for loc, n := range lines {
+		if n <= 0 {
+			continue
+		}
+		file := fmt.Sprintf("file%d", loc.File)
+		if int(loc.File) >= 0 && int(loc.File) < len(mod.Files) && mod.Files[loc.File] != "" {
+			file = mod.Files[loc.File]
+		}
+		fn := "unknown"
+		if r := mod.RegionAt(loc); r != nil && r.Func != nil {
+			fn = r.Func.Name
+		}
+		out = append(out, LineSample{
+			File: file, Line: int64(loc.Line), Func: fn, Value: n,
+		})
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"sort"
+)
+
+// Execution-effort profiles in pprof's profile.proto format, hand-encoded
+// like the metrics package hand-encodes the Prometheus text format: no
+// protobuf dependency, just the handful of wire features the message
+// needs (varints, length-delimited submessages, packed repeated scalars).
+// The output is a gzipped profile.proto that `go tool pprof` loads
+// directly, ranking the analyzed program's source lines by instruction
+// effort the way it ranks a native program's hot lines.
+//
+// profile.proto field numbers used here (the full schema is
+// github.com/google/pprof/proto/profile.proto):
+//
+//	Profile:  1 sample_type, 2 sample, 4 location, 5 function,
+//	          6 string_table, 9 time_nanos, 11 period_type, 12 period
+//	ValueType: 1 type, 2 unit           (string-table indexes)
+//	Sample:    1 location_id (packed), 2 value (packed)
+//	Location:  1 id, 4 line
+//	Line:      1 function_id, 2 line
+//	Function:  1 id, 2 name, 3 system_name, 4 filename, 5 start_line
+
+// LineSample is one source line's execution effort: the flattened,
+// IR-agnostic input to EncodeLineProfile.
+type LineSample struct {
+	// File and Line locate the source line; Func names the containing
+	// function.
+	File string
+	Line int64
+	Func string
+	// Value is the line's effort (instruction or access count).
+	Value int64
+}
+
+// protoBuf is a minimal protobuf wire-format writer.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// tag writes a field key: number<<3 | wire type (0 varint, 2 bytes).
+func (p *protoBuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+// intField writes a varint field, omitted at zero per proto3.
+func (p *protoBuf) intField(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(uint64(v))
+}
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packedField writes a repeated scalar field in packed encoding, omitted
+// when empty.
+func (p *protoBuf) packedField(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// strTable interns strings into the profile's string table (index 0 is
+// required to be "").
+type strTable struct {
+	idx map[string]int64
+	all []string
+}
+
+func newStrTable() *strTable {
+	return &strTable{idx: map[string]int64{"": 0}, all: []string{""}}
+}
+
+func (t *strTable) intern(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.all))
+	t.idx[s] = i
+	t.all = append(t.all, s)
+	return i
+}
+
+// EncodeLineProfile renders line samples as a gzipped profile.proto with
+// one sample type (e.g. "instructions"/"count"). Each sample has a single
+// location — the source line — carrying its file:line and containing
+// function, so `go tool pprof -top` ranks lines and `-lines` granularity
+// works out of the box. Samples at the same file:line are merged;
+// emission order is by value descending (ties by file then line), so the
+// encoding is deterministic for a given input set.
+func EncodeLineProfile(sampleType, unit string, samples []LineSample, timeNanos int64) ([]byte, error) {
+	if sampleType == "" || unit == "" {
+		return nil, fmt.Errorf("obs: pprof sample type and unit are required")
+	}
+	// Merge duplicate lines, then order deterministically.
+	type lineKey struct {
+		file string
+		line int64
+	}
+	merged := map[lineKey]*LineSample{}
+	for _, s := range samples {
+		if s.Value == 0 {
+			continue
+		}
+		k := lineKey{s.File, s.Line}
+		if m, ok := merged[k]; ok {
+			m.Value += s.Value
+		} else {
+			c := s
+			merged[k] = &c
+		}
+	}
+	ordered := make([]*LineSample, 0, len(merged))
+	for _, s := range merged {
+		ordered = append(ordered, s)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.Value != b.Value {
+			return a.Value > b.Value
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+
+	st := newStrTable()
+	var prof protoBuf
+
+	// sample_type + period_type (field 11) share the ValueType encoding.
+	var vt protoBuf
+	vt.intField(1, st.intern(sampleType))
+	vt.intField(2, st.intern(unit))
+	prof.bytesField(1, vt.b)
+
+	// Functions dedup by (name, file); locations are 1:1 with samples.
+	type funcKey struct {
+		name string
+		file string
+	}
+	funcIDs := map[funcKey]uint64{}
+	var funcs protoBuf // accumulated Function submessages, framed later
+	funcID := func(name, file string) uint64 {
+		k := funcKey{name, file}
+		if id, ok := funcIDs[k]; ok {
+			return id
+		}
+		id := uint64(len(funcIDs) + 1)
+		funcIDs[k] = id
+		var f protoBuf
+		f.intField(1, int64(id))
+		f.intField(2, st.intern(name))
+		f.intField(3, st.intern(name))
+		f.intField(4, st.intern(file))
+		funcs.bytesField(5, f.b)
+		return id
+	}
+
+	var locs, samplesBuf protoBuf
+	for i, s := range ordered {
+		locID := uint64(i + 1)
+		var line protoBuf
+		line.intField(1, int64(funcID(s.Func, s.File)))
+		line.intField(2, s.Line)
+		var loc protoBuf
+		loc.intField(1, int64(locID))
+		loc.bytesField(4, line.b)
+		locs.bytesField(4, loc.b)
+
+		var smp protoBuf
+		smp.packedField(1, []uint64{locID})
+		smp.packedField(2, []uint64{uint64(s.Value)})
+		samplesBuf.bytesField(2, smp.b)
+	}
+	prof.b = append(prof.b, samplesBuf.b...)
+	prof.b = append(prof.b, locs.b...)
+	prof.b = append(prof.b, funcs.b...)
+
+	// String table entries, in intern order, then scalars.
+	for _, s := range st.all {
+		prof.stringField(6, s)
+	}
+	prof.intField(9, timeNanos)
+	var pt protoBuf
+	pt.intField(1, st.intern(sampleType))
+	pt.intField(2, st.intern(unit))
+	prof.bytesField(11, pt.b)
+	prof.intField(12, 1)
+
+	var out bytes.Buffer
+	gz := gzip.NewWriter(&out)
+	if _, err := gz.Write(prof.b); err != nil {
+		return nil, err
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}

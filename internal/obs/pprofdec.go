@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Strict profile.proto reader, mirroring metrics.Parse: it understands
+// exactly the subset EncodeLineProfile emits and errors on anything else
+// (unknown fields, bad wire types, dangling ids), so a test decoding an
+// emitted profile genuinely validates the encoding rather than skipping
+// what it does not recognize.
+
+// DecodedLine is one resolved sample of a decoded line profile.
+type DecodedLine struct {
+	File  string
+	Line  int64
+	Func  string
+	Value int64
+}
+
+// DecodedProfile is the resolved content of a line profile.
+type DecodedProfile struct {
+	SampleType string
+	Unit       string
+	TimeNanos  int64
+	Period     int64
+	// Lines are the samples in emission order (value-descending for
+	// profiles written by EncodeLineProfile).
+	Lines []DecodedLine
+}
+
+// protoReader walks the protobuf wire format.
+type protoReader struct{ b []byte }
+
+func (r *protoReader) empty() bool { return len(r.b) == 0 }
+
+func (r *protoReader) varint() (uint64, error) {
+	var v uint64
+	for i := 0; i < len(r.b) && i < 10; i++ {
+		v |= uint64(r.b[i]&0x7f) << (7 * i)
+		if r.b[i] < 0x80 {
+			r.b = r.b[i+1:]
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: truncated or oversized varint")
+}
+
+// field reads one field key and its payload: wire type 0 returns the
+// varint value, wire type 2 returns the delimited bytes.
+func (r *protoReader) field() (num int, val uint64, body []byte, err error) {
+	key, err := r.varint()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	num = int(key >> 3)
+	switch key & 7 {
+	case 0:
+		val, err = r.varint()
+		return num, val, nil, err
+	case 2:
+		n, err := r.varint()
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if n > uint64(len(r.b)) {
+			return 0, 0, nil, fmt.Errorf("obs: field %d length %d overruns buffer", num, n)
+		}
+		body = r.b[:n]
+		r.b = r.b[n:]
+		return num, 0, body, nil
+	default:
+		return 0, 0, nil, fmt.Errorf("obs: field %d has unsupported wire type %d", num, key&7)
+	}
+}
+
+// packedUints reads a packed repeated varint payload.
+func packedUints(body []byte) ([]uint64, error) {
+	r := &protoReader{b: body}
+	var out []uint64
+	for !r.empty() {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// valueType is a decoded ValueType message (string-table indexes).
+type valueType struct{ typ, unit uint64 }
+
+func decodeValueType(body []byte) (valueType, error) {
+	var vt valueType
+	r := &protoReader{b: body}
+	for !r.empty() {
+		num, val, _, err := r.field()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1:
+			vt.typ = val
+		case 2:
+			vt.unit = val
+		default:
+			return vt, fmt.Errorf("obs: ValueType has unexpected field %d", num)
+		}
+	}
+	return vt, nil
+}
+
+// DecodeLineProfile reads a gzipped profile.proto produced by
+// EncodeLineProfile and resolves every reference: string-table indexes,
+// sample → location → function links. Any field the encoder does not
+// emit, or any dangling id, is an error.
+func DecodeLineProfile(data []byte) (*DecodedProfile, error) {
+	gz, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("obs: profile is not gzip: %w", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		return nil, fmt.Errorf("obs: gunzip profile: %w", err)
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+
+	type rawSample struct {
+		locs []uint64
+		vals []uint64
+	}
+	type rawLoc struct {
+		funcID uint64
+		line   int64
+	}
+	type rawFunc struct {
+		name, file uint64
+	}
+	var (
+		sampleTypes []valueType
+		samples     []rawSample
+		locs        = map[uint64]rawLoc{}
+		funcs       = map[uint64]rawFunc{}
+		strs        []string
+		timeNanos   int64
+		periodType  *valueType
+		period      int64
+	)
+
+	r := &protoReader{b: raw}
+	for !r.empty() {
+		num, val, body, err := r.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			vt, err := decodeValueType(body)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			var s rawSample
+			sr := &protoReader{b: body}
+			for !sr.empty() {
+				n, _, b, err := sr.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1:
+					if s.locs, err = packedUints(b); err != nil {
+						return nil, err
+					}
+				case 2:
+					if s.vals, err = packedUints(b); err != nil {
+						return nil, err
+					}
+				default:
+					return nil, fmt.Errorf("obs: Sample has unexpected field %d", n)
+				}
+			}
+			samples = append(samples, s)
+		case 4: // location
+			var id, funcID uint64
+			var line int64
+			lr := &protoReader{b: body}
+			for !lr.empty() {
+				n, v, b, err := lr.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1:
+					id = v
+				case 4: // Line submessage
+					liner := &protoReader{b: b}
+					for !liner.empty() {
+						ln, lv, _, err := liner.field()
+						if err != nil {
+							return nil, err
+						}
+						switch ln {
+						case 1:
+							funcID = lv
+						case 2:
+							line = int64(lv)
+						default:
+							return nil, fmt.Errorf("obs: Line has unexpected field %d", ln)
+						}
+					}
+				default:
+					return nil, fmt.Errorf("obs: Location has unexpected field %d", n)
+				}
+			}
+			if id == 0 {
+				return nil, fmt.Errorf("obs: Location without id")
+			}
+			locs[id] = rawLoc{funcID: funcID, line: line}
+		case 5: // function
+			var id uint64
+			var f rawFunc
+			fr := &protoReader{b: body}
+			for !fr.empty() {
+				n, v, _, err := fr.field()
+				if err != nil {
+					return nil, err
+				}
+				switch n {
+				case 1:
+					id = v
+				case 2:
+					f.name = v
+				case 3: // system_name, same interned string as name
+				case 4:
+					f.file = v
+				default:
+					return nil, fmt.Errorf("obs: Function has unexpected field %d", n)
+				}
+			}
+			if id == 0 {
+				return nil, fmt.Errorf("obs: Function without id")
+			}
+			funcs[id] = f
+		case 6: // string_table
+			strs = append(strs, string(body))
+		case 9:
+			timeNanos = int64(val)
+		case 11:
+			vt, err := decodeValueType(body)
+			if err != nil {
+				return nil, err
+			}
+			periodType = &vt
+		case 12:
+			period = int64(val)
+		default:
+			return nil, fmt.Errorf("obs: Profile has unexpected field %d", num)
+		}
+	}
+
+	str := func(i uint64) (string, error) {
+		if i >= uint64(len(strs)) {
+			return "", fmt.Errorf("obs: string index %d outside table of %d", i, len(strs))
+		}
+		return strs[i], nil
+	}
+	if len(strs) == 0 || strs[0] != "" {
+		return nil, fmt.Errorf("obs: string table must start with the empty string")
+	}
+	if len(sampleTypes) != 1 {
+		return nil, fmt.Errorf("obs: want exactly 1 sample type, got %d", len(sampleTypes))
+	}
+	out := &DecodedProfile{TimeNanos: timeNanos, Period: period}
+	if out.SampleType, err = str(sampleTypes[0].typ); err != nil {
+		return nil, err
+	}
+	if out.Unit, err = str(sampleTypes[0].unit); err != nil {
+		return nil, err
+	}
+	if periodType != nil {
+		if pt, err := str(periodType.typ); err != nil || pt != out.SampleType {
+			return nil, fmt.Errorf("obs: period type disagrees with sample type")
+		}
+	}
+	for _, s := range samples {
+		if len(s.locs) != 1 || len(s.vals) != 1 {
+			return nil, fmt.Errorf("obs: line-profile samples carry exactly one location and one value")
+		}
+		loc, ok := locs[s.locs[0]]
+		if !ok {
+			return nil, fmt.Errorf("obs: sample references unknown location %d", s.locs[0])
+		}
+		fn, ok := funcs[loc.funcID]
+		if !ok {
+			return nil, fmt.Errorf("obs: location references unknown function %d", loc.funcID)
+		}
+		dl := DecodedLine{Line: loc.line, Value: int64(s.vals[0])}
+		if dl.File, err = str(fn.file); err != nil {
+			return nil, err
+		}
+		if dl.Func, err = str(fn.name); err != nil {
+			return nil, err
+		}
+		out.Lines = append(out.Lines, dl)
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// array Perfetto and about:tracing load). Spans render as "X" (complete)
+// events; node names render as "M" (metadata) process_name events.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders the trace in Chrome trace-event JSON. Each node of
+// the trace becomes one process (the local node is pid 1, named by a
+// process_name metadata event); timestamps are microseconds relative to
+// the earliest span, so the viewer opens at t=0. Spans nest on a single
+// thread track per node by interval containment, which the recorder's
+// LIFO discipline guarantees.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	var t0 int64
+	for i, s := range t.Spans {
+		if i == 0 || s.Start < t0 {
+			t0 = s.Start
+		}
+	}
+	// Deterministic pid assignment: local node first, then remote nodes
+	// in order of first appearance.
+	pids := map[string]int{"": 1}
+	order := []string{""}
+	for _, s := range t.Spans {
+		if _, ok := pids[s.Node]; !ok {
+			pids[s.Node] = len(pids) + 1
+			order = append(order, s.Node)
+		}
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms",
+		TraceEvents: make([]chromeEvent, 0, len(t.Spans)+len(pids))}
+	for _, node := range order {
+		name := node
+		if name == "" {
+			name = "local"
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pids[node], Tid: 1,
+			Args: map[string]string{"name": name},
+		})
+	}
+	meta := len(out.TraceEvents)
+	for _, s := range t.Spans {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name, Cat: "dp", Ph: "X",
+			Ts:  float64(s.Start-t0) / 1e3,
+			Dur: float64(s.Dur) / 1e3,
+			Pid: pids[s.Node], Tid: 1,
+			Args: s.Attrs,
+		})
+	}
+	// Emit complete events in timestamp order (longer span first on ties,
+	// so parents precede the children they enclose): spans are recorded in
+	// open order, but e.g. the queue interval predates the job root.
+	evs := out.TraceEvents[meta:]
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Ts != evs[j].Ts {
+			return evs[i].Ts < evs[j].Ts
+		}
+		return evs[i].Dur > evs[j].Dur
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteText renders the trace as an indented span tree, children in
+// recorded order under their parents — the dp-discover -trace form.
+func (t *Trace) WriteText(w io.Writer) error {
+	children := make(map[int][]int)
+	var roots []int
+	for i, s := range t.Spans {
+		if s.Parent < 0 || s.Parent >= len(t.Spans) {
+			roots = append(roots, i)
+		} else {
+			children[s.Parent] = append(children[s.Parent], i)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "trace %s (%d spans)\n", t.ID, len(t.Spans)); err != nil {
+		return err
+	}
+	// Parent links may come off the wire; a visited set keeps a cyclic
+	// (malformed) graph from recursing forever.
+	visited := make([]bool, len(t.Spans))
+	var walk func(i, depth int) error
+	walk = func(i, depth int) error {
+		if visited[i] {
+			return nil
+		}
+		visited[i] = true
+		s := t.Spans[i]
+		label := s.Name
+		if s.Node != "" {
+			label += " [" + s.Node + "]"
+		}
+		attrs := ""
+		if len(s.Attrs) > 0 {
+			keys := make([]string, 0, len(s.Attrs))
+			for k := range s.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for j, k := range keys {
+				parts[j] = k + "=" + s.Attrs[k]
+			}
+			attrs = "  " + strings.Join(parts, " ")
+		}
+		if _, err := fmt.Fprintf(w, "%s%-*s %9.3fms%s\n",
+			strings.Repeat("  ", depth+1), 28-2*depth, label,
+			float64(s.Dur)/1e6, attrs); err != nil {
+			return err
+		}
+		for _, c := range children[i] {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

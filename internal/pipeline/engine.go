@@ -10,6 +10,7 @@ import (
 
 	"discopop/internal/ir"
 	"discopop/internal/mem"
+	"discopop/internal/obs"
 	"discopop/internal/profiler"
 )
 
@@ -24,6 +25,10 @@ type Job struct {
 	Mod *ir.Module
 	// Opt overrides the engine-wide default options when non-nil.
 	Opt *Options
+	// TraceID identifies the job's span trace fleet-wide. A coordinator
+	// propagates it to workers (the X-DP-Trace header), so the worker's
+	// spans land in the same trace. Empty defaults to the job name.
+	TraceID string
 
 	index     int       // submission order, stamped by Submit
 	submitted time.Time // enqueue time, stamped by Submit
@@ -43,6 +48,11 @@ type JobResult struct {
 	// QueueLat is the time the job waited between Submit and a worker
 	// picking it up.
 	QueueLat time.Duration
+	// Trace is the job's span tree: a root "job" span over the queue wait
+	// and every pipeline stage (with any worker-side spans a remote stage
+	// grafted in). Present for failed jobs too — the spans up to the
+	// failing stage are exactly what a post-mortem needs.
+	Trace *obs.Trace
 }
 
 // FleetStats aggregates observability counters across all completed jobs
@@ -273,12 +283,24 @@ func (e *Engine) runJob(j Job) (res *JobResult) {
 	if !j.submitted.IsZero() {
 		res.QueueLat = start.Sub(j.submitted)
 	}
+	traceID := j.TraceID
+	if traceID == "" {
+		traceID = j.Name
+	}
+	rec := obs.NewRecorder(traceID)
+	root := rec.Start("job")
+	rec.AnnotateSpan(root, "name", j.Name)
+	if !j.submitted.IsZero() {
+		rec.AddInterval("queue", j.submitted, start, root)
+	}
 	var ctx *Context
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("job %q: panic: %v", j.Name, r)
 		}
 		res.Elapsed = time.Since(start)
+		rec.End(root)
+		res.Trace = rec.Trace()
 		e.record(res, ctx)
 	}()
 	if j.Mod == nil {
@@ -289,7 +311,7 @@ func (e *Engine) runJob(j Job) (res *JobResult) {
 	if j.Opt != nil {
 		opt = *j.Opt
 	}
-	ctx = &Context{Mod: j.Mod, Opt: opt}
+	ctx = &Context{Mod: j.Mod, Opt: opt, Rec: rec}
 	if err := e.pipeline.Run(ctx); err != nil {
 		res.Err = err
 		return res

@@ -21,6 +21,7 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"discopop/internal/cu"
@@ -28,6 +29,7 @@ import (
 	"discopop/internal/interp"
 	"discopop/internal/ir"
 	"discopop/internal/mem"
+	"discopop/internal/obs"
 	"discopop/internal/pet"
 	"discopop/internal/profiler"
 	"discopop/internal/rank"
@@ -122,8 +124,24 @@ type Context struct {
 	// for local runs.
 	RemotePeer string
 
+	// Rec records the job's span tree: Run opens one span per stage
+	// (creating the recorder on first use when the caller did not), and
+	// stages annotate or graft into the open span through it. The engine
+	// seeds it with the job's trace id and wraps the stage spans in a
+	// root "job" span.
+	Rec *obs.Recorder
+
 	// Times records per-stage wall time in execution order.
 	Times []StageTime
+}
+
+// Recorder returns the job's span recorder, creating a detached one on
+// first use so stages can always annotate without nil checks.
+func (c *Context) Recorder() *obs.Recorder {
+	if c.Rec == nil {
+		c.Rec = obs.NewRecorder("")
+	}
+	return c.Rec
 }
 
 // StageTime is the measured wall time of one stage run.
@@ -176,11 +194,14 @@ func (p *Pipeline) Run(ctx *Context) error {
 	if ctx.Mod == nil {
 		return errors.New("pipeline: context has no module")
 	}
+	rec := ctx.Recorder()
 	for _, s := range p.Stages {
+		sp := rec.Start(s.Name())
 		start := time.Now()
 		n := len(ctx.Times)
 		err := s.Run(ctx)
 		d := time.Since(start)
+		rec.End(sp)
 		for _, st := range ctx.Times[n:] {
 			d -= st.D
 		}
@@ -219,6 +240,7 @@ func (Profile) Run(ctx *Context) error {
 		ctx.PET = e.tree
 		ctx.Instrs = e.instrs
 		ctx.ExecTime = e.execTime
+		annotateProfileSpan(ctx)
 		return nil
 	}
 	ctx.Prof = profiler.New(ctx.Mod, ctx.Opt.Profiler)
@@ -236,7 +258,22 @@ func (Profile) Run(ctx *Context) error {
 	ctx.PETBuilder, ctx.Instrs = ex.pb, ex.instrs
 	ctx.CompileTime, ctx.CompileHit = ex.compileTime, ex.compileHit
 	ctx.Profile = ctx.Prof.Result()
+	annotateProfileSpan(ctx)
 	return nil
+}
+
+// annotateProfileSpan attaches the profile stage's key facts to its open
+// span: how the execution was served and how much work it was.
+func annotateProfileSpan(ctx *Context) {
+	rec := ctx.Recorder()
+	rec.Annotate("cache_hit", strconv.FormatBool(ctx.CacheHit))
+	rec.Annotate("instrs", strconv.FormatInt(ctx.Instrs, 10))
+	if ctx.Profile != nil {
+		rec.Annotate("deps", strconv.Itoa(len(ctx.Profile.Deps)))
+	}
+	if !ctx.CacheHit {
+		rec.Annotate("compile_hit", strconv.FormatBool(ctx.CompileHit))
+	}
 }
 
 // execResult carries the products of one instrumented execution.

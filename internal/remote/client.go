@@ -16,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"discopop/internal/obs"
 )
 
 // Spec carries the per-job analysis options that travel with an encoded
@@ -25,6 +27,10 @@ type Spec struct {
 	Threads int
 	// BottomUp selects bottom-up CU construction on the worker.
 	BottomUp bool
+	// TraceID, when non-empty, is sent as the X-DP-Trace header so the
+	// worker records its job spans under the coordinator's trace id and
+	// the returned spans graft into one fleet-wide trace.
+	TraceID string
 }
 
 // WireSuggestion is one ranked parallelization opportunity as it crosses
@@ -48,6 +54,10 @@ type WireReport struct {
 	CUs         int              `json:"cus"`
 	CacheHit    bool             `json:"cache_hit"`
 	Suggestions []WireSuggestion `json:"suggestions"`
+	// Spans is the worker-side span tree of the job (queue wait plus
+	// every pipeline stage), in the worker's clock domain; the
+	// coordinator grafts it under its own remote span.
+	Spans []obs.Span `json:"spans,omitempty"`
 
 	// Peer is the base URL of the worker that produced the report.
 	Peer string `json:"-"`
@@ -408,6 +418,9 @@ func (c *Client) analyzeOn(ctx context.Context, p *peer, enc []byte, spec Spec, 
 	req.Header.Set("Content-Type", "application/json")
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	if spec.TraceID != "" {
+		req.Header.Set("X-DP-Trace", spec.TraceID)
 	}
 	c.authorize(req)
 	resp, err := c.opt.HTTPClient.Do(req)

@@ -612,4 +612,3 @@ func TestConcurrentFanOut(t *testing.T) {
 		t.Fatalf("round-robin did not spread load: %d vs %d", s1, s2)
 	}
 }
-

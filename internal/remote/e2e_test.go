@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"discopop/internal/metrics"
+	"discopop/internal/obs"
 	"discopop/internal/remote"
 	"discopop/internal/server"
 	"discopop/internal/workloads"
@@ -109,6 +110,8 @@ func canonicalReport(t *testing.T, view map[string]any) []byte {
 	delete(result, "queue_ms")
 	delete(result, "cache_hit")
 	delete(result, "peer")
+	delete(result, "trace_id")
+	delete(result, "spans")
 	b, err := json.Marshal(result)
 	if err != nil {
 		t.Fatal(err)
@@ -346,5 +349,116 @@ func waitView(t *testing.T, base, id string) map[string]any {
 		if time.Now().After(deadline) {
 			t.Fatalf("job %s still queued", id)
 		}
+	}
+}
+
+// TestE2EFleetTrace is the cross-node tracing acceptance test: a job
+// proxied through a coordinator must come back with the worker's spans —
+// its queue wait and at least two pipeline stages — grafted under the
+// coordinator's remote span, and the coordinator's trace endpoint must
+// render the combined tree as loadable Chrome trace JSON with the worker
+// as its own process.
+func TestE2EFleetTrace(t *testing.T) {
+	worker := bootNode(t, server.Config{Workers: 1})
+	coord := bootNode(t, server.Config{Workers: 1, Peers: []string{worker.ts.URL}})
+
+	view := analyzeOn(t, coord.ts.URL, "histogram")
+	result, ok := view["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("no result in %v", view)
+	}
+	raw, err := json.Marshal(result["spans"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []obs.Span
+	if err := json.Unmarshal(raw, &spans); err != nil {
+		t.Fatalf("result spans do not decode: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("coordinator job result carries no spans")
+	}
+
+	remoteIdx := -1
+	for i, s := range spans {
+		if s.Name == "remote" && s.Node == "" {
+			remoteIdx = i
+		}
+	}
+	if remoteIdx == -1 {
+		t.Fatalf("no local remote span in %+v", spans)
+	}
+	if skew := spans[remoteIdx].Attrs["clock_skew_ns"]; skew == "" {
+		t.Error("remote span has no clock_skew_ns attr")
+	}
+	if peer := spans[remoteIdx].Attrs["peer"]; peer != worker.ts.URL {
+		t.Errorf("remote span peer = %q, want %q", peer, worker.ts.URL)
+	}
+
+	// Worker-side spans: stamped with the peer URL, rooted under the
+	// remote span, covering the worker's queue wait and >= 2 stages.
+	underRemote := func(i int) bool {
+		for hops := 0; i >= 0 && hops <= len(spans); hops++ {
+			if i == remoteIdx {
+				return true
+			}
+			i = spans[i].Parent
+		}
+		return false
+	}
+	stages := map[string]bool{}
+	sawQueue := false
+	for i, s := range spans {
+		if s.Node != worker.ts.URL {
+			continue
+		}
+		if !underRemote(i) {
+			t.Errorf("worker span %q not nested under the remote span", s.Name)
+		}
+		switch s.Name {
+		case "queue":
+			sawQueue = true
+		case "job":
+		default:
+			stages[s.Name] = true
+		}
+	}
+	if !sawQueue {
+		t.Error("coordinator trace has no worker-side queue span")
+	}
+	if len(stages) < 2 {
+		t.Errorf("coordinator trace has %d worker pipeline stages (%v), want >= 2", len(stages), stages)
+	}
+
+	// The coordinator's trace endpoint renders the combined tree with the
+	// worker as a second process.
+	id, _ := view["id"].(string)
+	resp, err := http.Get(coord.ts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d", resp.StatusCode)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatalf("coordinator trace is not valid JSON: %v", err)
+	}
+	procs := map[string]int{}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs[ev.Args["name"]] = ev.Pid
+		}
+	}
+	if procs["local"] == 0 || procs[worker.ts.URL] == 0 {
+		t.Errorf("trace processes = %v, want local and %s", procs, worker.ts.URL)
 	}
 }

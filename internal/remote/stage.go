@@ -91,7 +91,8 @@ func (s *Stage) Run(ctx *pipeline.Context) error {
 	}
 	base := s.base()
 	rep, err := s.Client.AnalyzeBytes(base,
-		enc, Spec{Threads: ctx.Opt.Threads, BottomUp: ctx.Opt.BottomUpCUs})
+		enc, Spec{Threads: ctx.Opt.Threads, BottomUp: ctx.Opt.BottomUpCUs,
+			TraceID: ctx.Recorder().ID()})
 	if err != nil {
 		if base.Err() != nil {
 			// The stage was closed (coordinator shutdown): don't start a
@@ -115,6 +116,15 @@ func (s *Stage) Run(ctx *pipeline.Context) error {
 	ctx.CUCount = rep.CUs
 	ctx.CacheHit = rep.CacheHit
 	ctx.RemotePeer = rep.Peer
+	rec := ctx.Recorder()
+	rec.Annotate("peer", rep.Peer)
+	if len(rep.Spans) > 0 {
+		// Splice the worker's spans under this hop's span, shifted by the
+		// estimated per-hop clock offset so the coordinator's trace shows
+		// the worker's queue/profile/discover time inline.
+		skew := rec.Graft(rep.Peer, rep.Spans)
+		rec.Annotate("clock_skew_ns", strconv.FormatInt(int64(skew), 10))
+	}
 	ctx.Ranked, err = mapSuggestions(rep.Suggestions, ctx.Mod)
 	return err
 }

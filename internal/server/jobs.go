@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"discopop/internal/journal"
+	"discopop/internal/obs"
 	"discopop/internal/pipeline"
 )
 
@@ -74,6 +75,12 @@ type jobResult struct {
 	// Peer is the worker that served the analysis when this node proxied
 	// it to a fleet; empty for local runs.
 	Peer string `json:"peer,omitempty"`
+	// TraceID and Spans carry the job's span tree: queue wait and every
+	// pipeline stage (with worker-side spans grafted in on a
+	// coordinator). A coordinator polling this job reads them back to
+	// graft into its own trace; GET /v1/jobs/{id}/trace renders them.
+	TraceID string     `json:"trace_id,omitempty"`
+	Spans   []obs.Span `json:"spans,omitempty"`
 }
 
 // suggestionView is one ranked parallelization opportunity.
@@ -105,6 +112,28 @@ type jobStore struct {
 	// retried submission returns the original record instead of re-running
 	// the analysis. Entries live exactly as long as their record.
 	idem map[string]string
+	// recent is a bounded ring of finished-job span summaries, newest
+	// last. It outlives record eviction, so a job pushed out of m by the
+	// store cap stays diagnosable through GET /v1/debug/recent.
+	recent []recentEntry
+}
+
+// recentMax bounds the jobStore.recent ring.
+const recentMax = 64
+
+// recentEntry is one finished job's span summary: enough to spot which
+// stage ate the time without the full trace.
+type recentEntry struct {
+	ID       string             `json:"id"`
+	TraceID  string             `json:"trace_id,omitempty"`
+	Client   string             `json:"client,omitempty"`
+	Workload string             `json:"workload"`
+	State    string             `json:"state"`
+	Error    string             `json:"error,omitempty"`
+	Finished time.Time          `json:"finished"`
+	TotalMS  float64            `json:"total_ms"`
+	QueueMS  float64            `json:"queue_ms"`
+	StageMS  map[string]float64 `json:"stage_ms,omitempty"`
 }
 
 func (js *jobStore) init(max int) {
@@ -236,6 +265,10 @@ func (js *jobStore) finish(r *pipeline.JobResult) (settledJob, bool) {
 		rec.Result = summarize(r)
 	}
 	close(rec.doneCh)
+	js.recent = append(js.recent, recentEntryFor(rec, r))
+	if len(js.recent) > recentMax {
+		js.recent = js.recent[len(js.recent)-recentMax:]
+	}
 	s := settledJob{
 		ID: rec.ID, Client: rec.Client, State: rec.State,
 		Error: rec.Error, Result: rec.Result, At: rec.Finished,
@@ -244,6 +277,51 @@ func (js *jobStore) finish(r *pipeline.JobResult) (settledJob, bool) {
 		s.Instrs = rec.Result.Instrs
 	}
 	return s, true
+}
+
+// recentEntryFor condenses a finished job into its ring entry. Stage
+// timings come from the trace's depth-1 spans (children of the job
+// root), counting only locally-executed spans — a coordinator's grafted
+// worker spans are reachable through the full trace, not the summary.
+func recentEntryFor(rec *jobRecord, r *pipeline.JobResult) recentEntry {
+	e := recentEntry{
+		ID: rec.ID, Client: rec.Client, Workload: rec.Workload,
+		State: rec.State, Error: rec.Error, Finished: rec.Finished,
+		TotalMS: float64(r.Elapsed) / float64(time.Millisecond),
+		QueueMS: float64(r.QueueLat) / float64(time.Millisecond),
+	}
+	if r.Trace == nil {
+		return e
+	}
+	e.TraceID = r.Trace.ID
+	root := -1
+	for i, sp := range r.Trace.Spans {
+		if sp.Parent < 0 && sp.Node == "" {
+			root = i
+			break
+		}
+	}
+	for _, sp := range r.Trace.Spans {
+		if sp.Parent != root || sp.Node != "" || sp.Name == "queue" {
+			continue
+		}
+		if e.StageMS == nil {
+			e.StageMS = map[string]float64{}
+		}
+		e.StageMS[sp.Name] += float64(sp.Dur) / float64(time.Millisecond)
+	}
+	return e
+}
+
+// recentList snapshots the finished-job ring, newest first.
+func (js *jobStore) recentList() []recentEntry {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make([]recentEntry, len(js.recent))
+	for i, e := range js.recent {
+		out[len(out)-1-i] = e
+	}
+	return out
 }
 
 // restore rebuilds the store from replayed journal records: finished jobs
@@ -326,6 +404,10 @@ func summarize(r *pipeline.JobResult) *jobResult {
 		ElapsedMS: float64(r.Elapsed) / float64(time.Millisecond),
 		QueueMS:   float64(r.QueueLat) / float64(time.Millisecond),
 		Peer:      rep.RemotePeer,
+	}
+	if r.Trace != nil {
+		out.TraceID = r.Trace.ID
+		out.Spans = r.Trace.Spans
 	}
 	for _, s := range rep.Ranked {
 		if s.Score <= 0 || len(out.Suggestions) >= maxSuggestions {

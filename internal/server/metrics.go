@@ -3,6 +3,7 @@ package server
 import (
 	"log"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -153,6 +154,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		metrics.V(time.Since(s.start).Seconds()))
 	e.Counter("dp_http_requests_total", "HTTP requests by endpoint.",
 		labeledCounters(&s.httpReqs, "endpoint")...)
+
+	// Go runtime, straight off the runtime's own accumulators — enough to
+	// spot goroutine leaks, heap growth, and GC pressure without attaching
+	// a profiler. ReadMemStats is a brief stop-the-world, which a scrape
+	// cadence (seconds) amortizes to nothing.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	e.Gauge("dp_go_goroutines", "Live goroutines.",
+		metrics.V(float64(runtime.NumGoroutine())))
+	e.Gauge("dp_go_heap_alloc_bytes", "Bytes of live heap objects.",
+		metrics.V(float64(ms.HeapAlloc)))
+	e.Counter("dp_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		metrics.V(float64(ms.PauseTotalNs)/1e9))
+	e.Gauge("dp_build_info", "Build metadata carried in labels; the value is always 1.",
+		metrics.LV(1, metrics.L("goversion", runtime.Version())))
 
 	if err := e.Err(); err != nil {
 		// Headers are long gone; all we can do is log the malformed scrape.

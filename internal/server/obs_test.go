@@ -1,0 +1,275 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+
+	"discopop/internal/metrics"
+	"discopop/internal/obs"
+	"discopop/internal/profiler"
+	"discopop/internal/workloads"
+)
+
+// TestJobTraceEndpoint validates the Chrome trace-event export of a
+// finished job: parseable JSON, monotone timestamps, stage intervals
+// nested inside the job root, and the queue span present.
+func TestJobTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/analyze",
+		strings.NewReader(`{"workload":"histogram"}`))
+	req.Header.Set("X-DP-Trace", "trace-abc")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/analyze: %d", resp.StatusCode)
+	}
+	view := waitJob(t, ts.URL, accepted.ID)
+	if view.State != jobDone {
+		t.Fatalf("job state %s: %s", view.State, view.Error)
+	}
+	if view.Result.TraceID != "trace-abc" {
+		t.Errorf("result trace_id = %q, want the X-DP-Trace value", view.Result.TraceID)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + accepted.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace Content-Type = %q", ct)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var jobEnd float64
+	seen := map[string]bool{}
+	prev := -1.0
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		seen[ev.Name] = true
+		if ev.Ts < prev {
+			t.Errorf("event %s at %v breaks timestamp monotonicity (prev %v)", ev.Name, ev.Ts, prev)
+		}
+		prev = ev.Ts
+		if ev.Name == "job" {
+			jobEnd = ev.Ts + ev.Dur
+		} else if ev.Name != "queue" && ev.Ts+ev.Dur > jobEnd+0.001 {
+			t.Errorf("span %s [%v,%v] not nested in job (ends %v)",
+				ev.Name, ev.Ts, ev.Ts+ev.Dur, jobEnd)
+		}
+	}
+	for _, want := range []string{"job", "queue", "profile", "rank"} {
+		if !seen[want] {
+			t.Errorf("trace missing span %q (saw %v)", want, seen)
+		}
+	}
+
+	// Text rendering of the same trace.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + accepted.ID + "/trace?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace?format=text: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(text), "trace trace-abc") || !strings.Contains(string(text), "profile") {
+		t.Errorf("text trace incomplete:\n%s", text)
+	}
+
+	// Error surface: unknown job, unknown format.
+	for path, want := range map[string]int{
+		"/v1/jobs/nope/trace":                          http.StatusNotFound,
+		"/v1/jobs/" + accepted.ID + "/trace?format=xy": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestDebugRecentSurvivesEviction pins the small fix of the issue: span
+// summaries of finished jobs stay queryable after the job records
+// themselves have been evicted by the store cap.
+func TestDebugRecentSurvivesEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxRecords: 2})
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id := postAnalyze(t, ts.URL, `{"workload":"histogram"}`)
+		view := waitJob(t, ts.URL, id)
+		if view.State != jobDone {
+			t.Fatalf("job %s: %s %s", id, view.State, view.Error)
+		}
+		ids = append(ids, id)
+	}
+
+	// The earliest job's record must be gone (cap 2, 4 finished)...
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job still served: %d", resp.StatusCode)
+	}
+
+	// ...but its span summary survives in the ring.
+	resp, err = http.Get(ts.URL + "/v1/debug/recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Recent []recentEntry `json:"recent"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Recent) != 4 {
+		t.Fatalf("recent ring has %d entries, want 4", len(out.Recent))
+	}
+	// Newest first; every entry carries per-stage timings.
+	if out.Recent[0].ID != ids[3] || out.Recent[3].ID != ids[0] {
+		t.Errorf("ring order wrong: %s...%s, want %s...%s",
+			out.Recent[0].ID, out.Recent[3].ID, ids[3], ids[0])
+	}
+	for _, e := range out.Recent {
+		if e.State != jobDone || e.Workload != "histogram" {
+			t.Errorf("entry %s: state=%s workload=%s", e.ID, e.State, e.Workload)
+		}
+		if e.TotalMS <= 0 {
+			t.Errorf("entry %s: total_ms = %v", e.ID, e.TotalMS)
+		}
+		if len(e.StageMS) == 0 {
+			t.Errorf("entry %s has no stage timings", e.ID)
+		}
+	}
+}
+
+// TestWorkloadProfileEndpoint checks the pprof export end to end: the
+// served bytes are gzip, decode strictly, and the top line agrees with
+// an in-process profiler run of the same workload.
+func TestWorkloadProfileEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/v1/workloads/histogram/profile?scale=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET profile: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("profile Content-Type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("profile is not gzipped (% x)", data[:min(len(data), 2)])
+	}
+	dec, err := obs.DecodeLineProfile(data)
+	if err != nil {
+		t.Fatalf("profile does not decode: %v", err)
+	}
+	if dec.SampleType != "instructions" || dec.Unit != "count" {
+		t.Errorf("sample type %s/%s, want instructions/count", dec.SampleType, dec.Unit)
+	}
+	if len(dec.Lines) == 0 {
+		t.Fatal("profile has no samples")
+	}
+
+	// The top line must match an independent profiler run.
+	prog, err := workloads.Build("histogram", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := profiler.Profile(prog.M, profiler.Options{})
+	var wantTop int64
+	for _, v := range res.Lines {
+		if v > wantTop {
+			wantTop = v
+		}
+	}
+	if dec.Lines[0].Value != wantTop {
+		t.Errorf("top line value %d, want the profiler's hottest line %d",
+			dec.Lines[0].Value, wantTop)
+	}
+	if dec.Lines[0].File == "" || dec.Lines[0].Func == "" {
+		t.Errorf("top line unresolved: %+v", dec.Lines[0])
+	}
+
+	// Error surface.
+	for path, want := range map[string]int{
+		"/v1/workloads/no-such-workload/profile":    http.StatusNotFound,
+		"/v1/workloads/histogram/profile?scale=999": http.StatusBadRequest,
+		"/v1/workloads/histogram/profile?scale=x":   http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestRuntimeMetrics checks the dependency-free Go runtime gauges and the
+// build-info gauge on /metrics.
+func TestRuntimeMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	s := scrape(t, ts.URL)
+	if v := mustValue(t, s, "dp_go_goroutines"); v <= 0 {
+		t.Errorf("dp_go_goroutines = %v", v)
+	}
+	if v := mustValue(t, s, "dp_go_heap_alloc_bytes"); v <= 0 {
+		t.Errorf("dp_go_heap_alloc_bytes = %v", v)
+	}
+	if v := mustValue(t, s, "dp_go_gc_pause_seconds_total"); v < 0 {
+		t.Errorf("dp_go_gc_pause_seconds_total = %v", v)
+	}
+	if v := mustValue(t, s, "dp_build_info",
+		metrics.L("goversion", runtime.Version())); v != 1 {
+		t.Errorf("dp_build_info = %v, want 1", v)
+	}
+}

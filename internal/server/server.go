@@ -14,12 +14,15 @@
 //
 // API surface:
 //
-//	POST /v1/analyze      submit a job; 202 with an id (async)
-//	GET  /v1/jobs/{id}    job status and, when finished, the result
-//	GET  /v1/jobs         recent job records
-//	GET  /v1/workloads    the bundled workload registry
-//	GET  /metrics         Prometheus text exposition
-//	GET  /healthz         liveness ("ok", or 503 while draining)
+//	POST /v1/analyze                     submit a job; 202 with an id (async)
+//	GET  /v1/jobs/{id}                   job status and, when finished, the result
+//	GET  /v1/jobs/{id}/trace             Chrome trace-event JSON (?format=text for a tree)
+//	GET  /v1/jobs                        recent job records
+//	GET  /v1/workloads                   the bundled workload registry
+//	GET  /v1/workloads/{name}/profile    gzipped pprof profile of execution effort
+//	GET  /v1/debug/recent                span summaries of the last finished jobs
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /healthz                        liveness ("ok", or 503 while draining)
 //
 // Shutdown is a drain: Drain stops new submissions (503), lets queued and
 // running jobs finish, and returns when the last result is recorded.
@@ -41,7 +44,9 @@ import (
 	"time"
 
 	"discopop/internal/journal"
+	"discopop/internal/obs"
 	"discopop/internal/pipeline"
+	"discopop/internal/profiler"
 	"discopop/internal/remote"
 	"discopop/internal/workloads"
 )
@@ -216,8 +221,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/analyze", s.count("analyze", s.auth(s.handleAnalyze)))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.count("job", s.auth(s.handleJob)))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.count("trace", s.auth(s.handleJobTrace)))
 	s.mux.HandleFunc("GET /v1/jobs", s.count("jobs", s.auth(s.handleJobs)))
 	s.mux.HandleFunc("GET /v1/workloads", s.count("workloads", s.auth(s.handleWorkloads)))
+	s.mux.HandleFunc("GET /v1/workloads/{name}/profile", s.count("profile", s.auth(s.handleWorkloadProfile)))
+	s.mux.HandleFunc("GET /v1/debug/recent", s.count("recent", s.auth(s.handleRecent)))
 	s.mux.HandleFunc("GET /metrics", s.count("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.count("healthz", s.handleHealthz))
 	go s.submitLoop()
@@ -367,6 +375,10 @@ const (
 // amplification channel.
 const maxIdemKeyLen = 128
 
+// maxTraceIDLen bounds the X-DP-Trace header for the same reason: the id
+// is echoed into every span set and journaled result.
+const maxTraceIDLen = 128
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	client := clientFrom(r.Context())
 	if s.draining.Load() {
@@ -398,6 +410,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			"Idempotency-Key longer than %d bytes", maxIdemKeyLen)
 		return
 	}
+	traceID := strings.TrimSpace(r.Header.Get("X-DP-Trace"))
+	if len(traceID) > maxTraceIDLen {
+		s.reject(rejectSpec)
+		writeError(w, http.StatusBadRequest,
+			"X-DP-Trace longer than %d bytes", maxTraceIDLen)
+		return
+	}
 	var req analyzeRequest
 	// The body cap must cover a module at the codec's byte limit after
 	// base64 expansion (4/3) plus JSON framing, or the advertised decode
@@ -426,6 +445,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	rec.Client = client
 	rec.IdemKey = idemKey
+	// A coordinator's X-DP-Trace id groups this node's spans under the
+	// caller's trace; local submissions trace under their own job id.
+	job.TraceID = traceID
 	if existing := s.jobs.add(rec); existing != nil {
 		// A retry of a job we already hold: answer with the original record
 		// instead of running the analysis twice. Coordinator failover leans
@@ -632,6 +654,87 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		"workloads": workloads.List(r.URL.Query().Get("suite")),
 		"suites":    workloads.Suites(),
 	})
+}
+
+// handleJobTrace renders a finished job's span tree: Chrome trace-event
+// JSON by default (loadable in Perfetto / about:tracing), an indented
+// text tree with ?format=text.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	view := s.jobs.snapshot(rec)
+	if view.State == jobQueued {
+		writeError(w, http.StatusConflict, "job %q not finished", id)
+		return
+	}
+	if view.Result == nil || len(view.Result.Spans) == 0 {
+		writeError(w, http.StatusNotFound, "job %q has no recorded trace", id)
+		return
+	}
+	tid := view.Result.TraceID
+	if tid == "" {
+		tid = id
+	}
+	tr := &obs.Trace{ID: tid, Spans: view.Result.Spans}
+	switch r.URL.Query().Get("format") {
+	case "", "chrome", "json":
+		w.Header().Set("Content-Type", "application/json")
+		tr.WriteChrome(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tr.WriteText(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown trace format %q", r.URL.Query().Get("format"))
+	}
+}
+
+// handleWorkloadProfile profiles a bundled workload and serves its
+// per-line execution effort as a gzipped pprof profile (sample type
+// "instructions"), directly loadable with `go tool pprof`. The run is
+// synchronous — workload cost is bounded by maxWorkloadScale, the same
+// cap the analyze path relies on.
+func (s *Server) handleWorkloadProfile(w http.ResponseWriter, r *http.Request) {
+	scale := 1
+	if spec := r.URL.Query().Get("scale"); spec != "" {
+		n, err := strconv.Atoi(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad scale %q", spec)
+			return
+		}
+		scale = n
+	}
+	name, scale, err := parseWorkloadSpec(r.PathValue("name"), scale)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	prog, err := workloads.Build(name, scale)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	res := profiler.Profile(prog.M, profiler.Options{})
+	data, err := obs.EncodeLineProfile("instructions", "count",
+		obs.ModuleLineSamples(prog.M, res.Lines), time.Now().UnixNano())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode profile: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("%s@%d.pb.gz", name, scale)))
+	w.Write(data)
+}
+
+// handleRecent serves the bounded ring of finished-job span summaries;
+// it answers for jobs whose full records have already been evicted.
+func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"recent": s.jobs.recentList()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

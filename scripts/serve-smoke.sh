@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# scripts/serve-smoke.sh — three-part end-to-end check of the service
+# scripts/serve-smoke.sh — four-part end-to-end check of the service
 # subsystem. Part 1 boots a single dp-serve on a random port, checks
 # /healthz and /metrics, submits one analysis, asserts the fleet counters
 # moved, and asserts rejected submissions are counted by reason. Part 2
@@ -10,6 +10,10 @@
 # 401/202 and the rate-limit 429, run jobs, SIGKILL the node, restart on
 # the same journal, and assert the pre-restart records (results included)
 # are restored, with the idempotency key deduping onto the original job.
+# Part 4 is observability: fetch a finished job's Chrome trace and
+# validate it with a JSON parser, check /v1/debug/recent, pull a gzipped
+# workload pprof profile, and run a dp-profile -pprof export through
+# `go tool pprof -top`.
 # The CI serve-smoke job runs this; it is also the quickest local check
 # of the service.
 set -euo pipefail
@@ -289,4 +293,83 @@ wait "$HPID" 2>/dev/null || true
 grep -q "drained cleanly" "$HLOG" || hfail "hardened node did not drain cleanly"
 trap - EXIT
 rm -rf "$JDIR"
-echo "serve smoke OK (single node + 2-node fleet + auth/journal crash-restart)"
+echo "hardened smoke OK"
+
+# ---------------------------------------------------------------------------
+# Part 4: observability. A finished job's trace must render as valid
+# Chrome trace-event JSON with the expected spans, the recent-jobs ring
+# must summarize it, the workload pprof endpoint must serve non-empty
+# gzip, and a dp-profile -pprof export must be accepted by `go tool
+# pprof -top`.
+
+OLOG="$(mktemp)"
+"$BIN" -addr 127.0.0.1:0 -jobs 1 >"$OLOG" 2>&1 &
+OPID=$!
+trap 'kill -TERM $OPID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
+OPORT=""
+for _ in $(seq 1 50); do
+  OPORT=$(sed -n 's/.*listening on .*:\([0-9][0-9]*\)$/\1/p' "$OLOG")
+  [ -n "$OPORT" ] && break
+  sleep 0.1
+done
+[ -n "$OPORT" ] || { echo "obs node never reported its port"; cat "$OLOG"; exit 1; }
+OBASE="http://127.0.0.1:$OPORT"
+echo "obs node up on $OBASE"
+
+ofail() { echo "FAIL: $1"; cat "$OLOG"; exit 1; }
+
+resp=$(curl -s -XPOST "$OBASE/v1/analyze" -d '{"workload":"histogram"}')
+id=$(echo "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || ofail "no job id in $resp"
+job=$(curl -s "$OBASE/v1/jobs/$id?wait=30s")
+echo "$job" | grep -q '"state":"done"' || ofail "obs job did not finish: $job"
+
+# The trace must be valid JSON with complete events for the job root and
+# the pipeline stages (validated by a real JSON parser, not grep alone).
+curl -sf "$OBASE/v1/jobs/$id/trace" > /tmp/trace.json || ofail "trace fetch failed"
+python3 - <<'PY' /tmp/trace.json || ofail "trace is not valid Chrome trace JSON"
+import json, sys
+with open(sys.argv[1]) as f:
+    t = json.load(f)
+events = t["traceEvents"]
+names = {e["name"] for e in events if e.get("ph") == "X"}
+missing = {"job", "queue", "profile"} - names
+assert not missing, f"missing spans: {missing} (got {names})"
+assert all(e["dur"] >= 0 for e in events if e.get("ph") == "X")
+PY
+curl -sf "$OBASE/v1/jobs/$id/trace?format=text" | grep -q "trace $id" \
+  || ofail "text trace missing header"
+
+# The finished job is summarized in the recent ring with stage timings.
+curl -sf "$OBASE/v1/debug/recent" | grep -q "\"id\":\"$id\"" \
+  || ofail "job missing from /v1/debug/recent"
+curl -sf "$OBASE/v1/debug/recent" | grep -q '"stage_ms"' \
+  || ofail "recent entry has no stage_ms"
+
+# Workload pprof endpoint: non-empty gzip (1f 8b magic).
+curl -sf "$OBASE/v1/workloads/histogram/profile?scale=1" > /tmp/workload.pb.gz \
+  || ofail "workload profile fetch failed"
+[ -s /tmp/workload.pb.gz ] || ofail "workload profile is empty"
+magic=$(od -An -tx1 -N2 /tmp/workload.pb.gz | tr -d ' \n')
+[ "$magic" = "1f8b" ] || ofail "workload profile is not gzip (magic $magic)"
+
+kill -TERM "$OPID"
+for _ in $(seq 1 50); do
+  kill -0 "$OPID" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$OPID" 2>/dev/null || true
+trap - EXIT
+
+# dp-profile -pprof round trip through the real pprof tool.
+PBIN="$(dirname "$BIN")/dp-profile"
+go build -o "$PBIN" ./cmd/dp-profile
+"$PBIN" -workload histogram -pprof /tmp/histogram.pb.gz >/dev/null 2>&1 \
+  || ofail "dp-profile -pprof failed"
+go tool pprof -top /tmp/histogram.pb.gz > /tmp/pprof-top.txt 2>&1 \
+  || ofail "go tool pprof rejected the profile: $(cat /tmp/pprof-top.txt)"
+grep -q 'instructions' /tmp/pprof-top.txt \
+  || ofail "pprof -top does not show the instructions sample type: $(cat /tmp/pprof-top.txt)"
+echo "observability smoke OK"
+
+echo "serve smoke OK (single node + 2-node fleet + auth/journal crash-restart + observability)"
