@@ -25,7 +25,12 @@
 // token maps to. -journal makes accepted/started/finished transitions
 // durable: after a crash the next boot replays them, restores the job
 // records (results included), and marks the jobs in flight at the crash
-// as failed (interrupted).
+// as failed (interrupted). The journal bounds itself: once it outgrows
+// -journal-max-bytes or -journal-max-records, the live job records are
+// snapshotted into a fresh log (checkpoint record + atomic rename) so a
+// boot replays the live store, not the full history; results too large
+// for one journal record spill to content-addressed files under
+// <journal>.spill/.
 //
 // -debug-addr serves net/http/pprof on a separate listener (bind it to
 // localhost) so live profiling never shares a port with the authed API;
@@ -71,6 +76,8 @@ func run() int {
 		tokenFile   = flag.String("token-file", "", "file of \"token client\" lines; enables /v1 auth")
 		peerToken   = flag.String("peer-token", "", "bearer token this coordinator presents to its -peers")
 		journalPath = flag.String("journal", "", "append-only job journal path; replayed on boot for crash recovery")
+		journalMaxB = flag.Int64("journal-max-bytes", 0, "compact the journal past this size (0 = 64MiB, negative = never by size)")
+		journalMaxR = flag.Int64("journal-max-records", 0, "compact the journal past this many records (0 = 8192, negative = never by count)")
 		rate        = flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
 		burst       = flag.Int("burst", 0, "per-client submission burst (0 = 4x rate)")
 		maxInflight = flag.Int("max-inflight", 0, "per-client accepted-but-unfinished job cap (0 = unlimited)")
@@ -100,13 +107,15 @@ func run() int {
 		return 1
 	}
 	cfg := server.Config{
-		Workers:      *jobs,
-		CacheEntries: cacheEntries,
-		QueueDepth:   *queue,
-		Threads:      *threads,
-		Peers:        peerList,
-		Tokens:       tokenMap,
-		JournalPath:  *journalPath,
+		Workers:           *jobs,
+		CacheEntries:      cacheEntries,
+		QueueDepth:        *queue,
+		Threads:           *threads,
+		Peers:             peerList,
+		Tokens:            tokenMap,
+		JournalPath:       *journalPath,
+		JournalMaxBytes:   *journalMaxB,
+		JournalMaxRecords: *journalMaxR,
 		Quotas: server.Quotas{
 			SubmitRate:     *rate,
 			SubmitBurst:    *burst,

@@ -65,6 +65,20 @@ func FuzzJournalReplay(f *testing.F) {
 	// Garbage after the magic, and an implausible length prefix.
 	f.Add(append([]byte(magic), []byte("!!!! certainly not a frame")...))
 	f.Add(append([]byte(magic), 0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4))
+	// v2 shapes: a compacted log (history, checkpoint marker, snapshot)
+	// and a spilled result carrying its hash ref instead of inline bytes.
+	f.Add(full(
+		Record{Op: OpAccepted, ID: "j000005", Time: ts, Workload: "CG"},
+		Record{Op: OpFinished, ID: "j000005", Time: ts, State: "done"},
+		Record{Op: OpCheckpoint, Time: ts, Live: 1},
+		Record{Op: OpAccepted, ID: "j000006", Time: ts, Workload: "MG"},
+	))
+	f.Add(full(Record{Op: OpFinished, ID: "j000007", Time: ts, State: "done",
+		ResultRef: "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08"}))
+	// A v1-magic log must keep replaying under the v2 reader.
+	v1 := []byte(magicV1)
+	v1 = append(v1, frame(f, Record{Op: OpAccepted, ID: "j000008", Time: ts, Workload: "EP"})...)
+	f.Add(v1)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, consumed, _ := Replay(data) // must not panic

@@ -59,6 +59,27 @@ func TestGenCorpus(t *testing.T) {
 	seeds["seed-bit-flip"] = flipped
 	seeds["seed-garbage-tail"] = append([]byte(magic), []byte("!!!! certainly not a frame")...)
 	seeds["seed-huge-length"] = append([]byte(magic), 0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4)
+	// v2 shapes: a compacted log (superseded history, checkpoint marker,
+	// snapshot records) and a finished record whose result was spilled.
+	seeds["seed-checkpoint"] = full(
+		Record{Op: OpAccepted, ID: "j000006", Time: ts, Workload: "CG"},
+		Record{Op: OpFinished, ID: "j000006", Time: ts, State: "done"},
+		Record{Op: OpCheckpoint, Time: ts, Live: 2},
+		Record{Op: OpAccepted, ID: "j000007", Time: ts, Workload: "MG", Client: "alice"},
+		Record{Op: OpFinished, ID: "j000007", Time: ts, State: "done",
+			Result: json.RawMessage(`{"instrs":9,"deps":2,"cus":1,"suggestions":[]}`)},
+	)
+	seeds["seed-spill-ref"] = full(
+		Record{Op: OpAccepted, ID: "j000008", Time: ts, Workload: "histogram"},
+		Record{Op: OpFinished, ID: "j000008", Time: ts, State: "done",
+			ResultRef: "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08"},
+	)
+	// A v1-magic log: the v2 reader must keep replaying pre-compaction
+	// journals byte-for-byte.
+	v1 := []byte(magicV1)
+	v1 = append(v1, frame(t, Record{Op: OpAccepted, ID: "j000009", Time: ts, Workload: "EP"})...)
+	v1 = append(v1, frame(t, Record{Op: OpFinished, ID: "j000009", Time: ts, State: "done"})...)
+	seeds["seed-v1-log"] = v1
 
 	for name, data := range seeds {
 		content := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))

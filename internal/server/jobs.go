@@ -362,6 +362,9 @@ func (js *jobStore) restore(recs []journal.Record) (interrupted []string) {
 		case journal.OpStarted:
 			// State-neutral: accepted-but-unfinished is interrupted either
 			// way; the record exists for forensics.
+		case journal.OpCheckpoint:
+			// The replayer already dropped everything the checkpoint
+			// superseded; the marker itself carries no job state.
 		case journal.OpFinished:
 			finished[jr.ID] = jr // last terminal record wins
 		}
@@ -392,6 +395,46 @@ func (js *jobStore) restore(recs []journal.Record) (interrupted []string) {
 	}
 	js.trimLocked()
 	return interrupted
+}
+
+// exportRecords snapshots the live store as journal records — the
+// compaction snapshot. Every record gets its accepted transition back
+// (identity, idempotency key, submit time) and settled records their
+// finished transition, so restore(snapshot) rebuilds exactly this store:
+// the differential invariant restore(compacted) == restore(uncompacted).
+// Results are emitted inline; the journal re-spills any that outgrow a
+// record. Queued records export as accepted-only — if the node dies
+// before they settle they replay as interrupted, exactly as they would
+// have from the uncompacted log.
+func (js *jobStore) exportRecords() []journal.Record {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make([]journal.Record, 0, 2*len(js.m))
+	for _, id := range js.order {
+		rec, ok := js.m[id]
+		if !ok {
+			continue
+		}
+		out = append(out, journal.Record{
+			Op: journal.OpAccepted, ID: rec.ID, Time: rec.Submitted,
+			Workload: rec.Workload, Scale: rec.Scale,
+			Client: rec.Client, IdemKey: rec.IdemKey,
+		})
+		if rec.State == jobQueued {
+			continue
+		}
+		jr := journal.Record{
+			Op: journal.OpFinished, ID: rec.ID, Time: rec.Finished,
+			State: rec.State, Error: rec.Error,
+		}
+		if rec.Result != nil {
+			if raw, err := json.Marshal(rec.Result); err == nil {
+				jr.Result = raw
+			}
+		}
+		out = append(out, jr)
+	}
+	return out
 }
 
 func summarize(r *pipeline.JobResult) *jobResult {

@@ -147,6 +147,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			metrics.V(float64(js.Replayed)))
 		e.Gauge("dp_journal_truncated_bytes", "Torn-tail bytes discarded at boot.",
 			metrics.V(float64(js.Truncated)))
+		e.Counter("dp_journal_append_errors_total",
+			"Job transitions that failed to reach the journal (durability degraded).",
+			metrics.V(float64(s.journalAppendErrs.Load())))
+		e.Counter("dp_journal_compactions_total",
+			"Snapshot+truncate rotations of the job journal.",
+			metrics.V(float64(js.Compactions)))
+		e.Gauge("dp_journal_live_records",
+			"Records in the current log generation (what the next boot replays).",
+			metrics.V(float64(js.LiveRecords)))
+		e.Gauge("dp_journal_size_bytes", "Current journal file size.",
+			metrics.V(float64(js.SizeBytes)))
+		e.Gauge("dp_journal_spill_files",
+			"Live spill files holding results too large for one record.",
+			metrics.V(float64(js.SpillFiles)))
+		e.Gauge("dp_journal_spill_bytes", "Summed size of the live spill files.",
+			metrics.V(float64(js.SpillBytes)))
 	}
 
 	// Service.

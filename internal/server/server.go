@@ -94,6 +94,13 @@ type Config struct {
 	// still answers for pre-restart jobs. Empty keeps records in memory
 	// only.
 	JournalPath string
+	// JournalMaxBytes and JournalMaxRecords are the compaction thresholds:
+	// once the log outgrows either, the live record store is snapshotted
+	// into a fresh log (checkpoint + snapshot, atomic rename) so boot
+	// replay stays O(live records). 0 means the defaults (64 MiB / 8192
+	// records); negative disables that trigger.
+	JournalMaxBytes   int64
+	JournalMaxRecords int64
 }
 
 func (c Config) withDefaults() Config {
@@ -116,8 +123,26 @@ func (c Config) withDefaults() Config {
 	} else if c.SubmissionInstrs < 0 {
 		c.SubmissionInstrs = 0 // unbounded, in interp terms
 	}
+	if c.JournalMaxBytes == 0 {
+		c.JournalMaxBytes = defaultJournalMaxBytes
+	} else if c.JournalMaxBytes < 0 {
+		c.JournalMaxBytes = 0 // no byte trigger, in journal.Options terms
+	}
+	if c.JournalMaxRecords == 0 {
+		c.JournalMaxRecords = defaultJournalMaxRecords
+	} else if c.JournalMaxRecords < 0 {
+		c.JournalMaxRecords = 0
+	}
 	return c
 }
+
+// Default journal compaction thresholds: 64 MiB or 8192 records, whichever
+// trips first. 8192 records is 8 store caps' worth of job transitions, so a
+// compaction reclaims most of the log while staying rare under steady load.
+const (
+	defaultJournalMaxBytes   = 64 << 20
+	defaultJournalMaxRecords = 8192
+)
 
 // Server is the long-lived analysis service. It implements http.Handler.
 type Server struct {
@@ -153,6 +178,16 @@ type Server struct {
 	// is zero. journal is the durable job log; nil without JournalPath.
 	limits  *limiter
 	journal *journal.Journal
+
+	// journalAppendErrs counts transitions that failed to reach the journal
+	// (disk full, yanked volume): each one is a job whose post-restart
+	// replay may be wrong, so the count is surfaced on /metrics and flips
+	// /healthz to degraded.
+	journalAppendErrs atomic.Int64
+
+	// compactMu serializes compaction attempts so a burst of finishes does
+	// not stack redundant snapshot rotations behind one another.
+	compactMu sync.Mutex
 
 	// idemReplays counts submissions answered from the idempotency index
 	// instead of running (the dp_jobs_deduped_total metric).
@@ -197,12 +232,31 @@ func New(cfg Config) (*Server, error) {
 	s.jobs.init(cfg.MaxRecords)
 	s.limits = newLimiter(cfg.Quotas)
 	if cfg.JournalPath != "" {
-		jnl, recs, err := journal.Open(cfg.JournalPath)
+		jnl, recs, err := journal.OpenWith(cfg.JournalPath, journal.Options{
+			MaxBytes:   cfg.JournalMaxBytes,
+			MaxRecords: cfg.JournalMaxRecords,
+		})
 		if err != nil {
 			s.eng.Close()
 			return nil, fmt.Errorf("server: open journal: %w", err)
 		}
 		s.journal = jnl
+		// Results too large for one record were spilled to side files at
+		// append time; load them back so restore sees the full record. A
+		// missing or corrupt spill degrades that one job (it replays
+		// resultless), not the boot.
+		for i := range recs {
+			if recs[i].ResultRef == "" || len(recs[i].Result) > 0 {
+				continue
+			}
+			data, err := jnl.ReadSpill(recs[i].ResultRef)
+			if err != nil {
+				log.Printf("server: journal spill %s (job %s): %v",
+					recs[i].ResultRef, recs[i].ID, err)
+				continue
+			}
+			recs[i].Result = data
+		}
 		interrupted := s.jobs.restore(recs)
 		// Settle the interruptions durably too, so a second restart replays
 		// them as failed instead of re-deriving (and re-timestamping) them.
@@ -235,15 +289,42 @@ func New(cfg Config) (*Server, error) {
 
 // journalAppend records one transition; with no journal configured it is a
 // no-op. Append failures (disk full, yanked volume) degrade durability,
-// not availability: the job still runs, the loss is surfaced in the log
-// and the journal's sticky error.
+// not availability: the job still runs, but the loss is counted
+// (dp_journal_append_errors_total) and flips /healthz to degraded —
+// log-only reporting here once let a successful job silently replay as
+// failed (interrupted) after a restart.
 func (s *Server) journalAppend(rec journal.Record) {
 	if s.journal == nil {
 		return
 	}
 	if err := s.journal.Append(rec); err != nil {
+		s.journalAppendErrs.Add(1)
 		log.Printf("server: journal append (op=%s id=%s): %v", rec.Op, rec.ID, err)
 	}
+}
+
+// maybeCompact rotates the journal once it outgrows its thresholds:
+// the live record store becomes a checkpoint + snapshot in a fresh log,
+// so the next boot replays O(live records) instead of the full history.
+// Called from collectLoop after each finished append — the only moment
+// the log grows past a threshold for good.
+func (s *Server) maybeCompact() {
+	if s.journal == nil || !s.journal.NeedsCompaction() {
+		return
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if !s.journal.NeedsCompaction() { // re-check: a racing finish compacted
+		return
+	}
+	before := s.journal.Stats()
+	if err := s.journal.Compact(s.jobs.exportRecords); err != nil {
+		log.Printf("server: journal compaction: %v", err)
+		return
+	}
+	after := s.journal.Stats()
+	log.Printf("server: journal compacted: %d records / %d bytes -> %d records / %d bytes",
+		before.LiveRecords, before.SizeBytes, after.LiveRecords, after.SizeBytes)
 }
 
 // ServeHTTP implements http.Handler.
@@ -313,6 +394,7 @@ func (s *Server) collectLoop() {
 			}
 		}
 		s.journalAppend(jr)
+		s.maybeCompact()
 	}
 	close(s.done)
 }
@@ -743,6 +825,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// A journal that is dropping appends degrades durability, not
+	// liveness: the service stays 200 (it is still serving correctly) but
+	// the body names the degradation so probes and humans can see that a
+	// restart would replay incomplete state.
+	if s.journal != nil {
+		if err := s.journal.Err(); err != nil {
+			fmt.Fprintf(w, "degraded: journal: %v\n", err)
+			return
+		}
+		if n := s.journalAppendErrs.Load(); n > 0 {
+			fmt.Fprintf(w, "degraded: journal: %d append failures\n", n)
+			return
+		}
+	}
 	fmt.Fprintln(w, "ok")
 }
 

@@ -6,10 +6,12 @@
 # boots a 2-node fleet (worker + coordinator with -peers), submits a
 # batch through the coordinator, and asserts the worker's own job
 # counters advanced (the work really ran remotely). Part 3 is the
-# trust-and-durability drill: boot with -tokens and -journal, assert
-# 401/202 and the rate-limit 429, run jobs, SIGKILL the node, restart on
-# the same journal, and assert the pre-restart records (results included)
-# are restored, with the idempotency key deduping onto the original job.
+# trust-and-durability drill: boot with -tokens, -journal, and a tiny
+# -journal-max-records, assert 401/202 and the rate-limit 429, run jobs
+# past the compaction threshold (asserting the journal compacted),
+# SIGKILL the node, restart on the same journal, and assert the
+# pre-restart records (results included) are restored from a bounded
+# replay, with the idempotency key deduping onto the original job.
 # Part 4 is observability: fetch a finished job's Chrome trace and
 # validate it with a JSON parser, check /v1/debug/recent, pull a gzipped
 # workload pprof profile, and run a dp-profile -pprof export through
@@ -184,16 +186,19 @@ echo "fleet smoke OK"
 
 # ---------------------------------------------------------------------------
 # Part 3: trust and durability. One node with bearer auth, a per-client
-# rate limit, and a job journal. The node is SIGKILLed (no drain) and
-# restarted on the same journal: the finished job must come back with its
-# result, and the original idempotency key must dedupe onto it.
+# rate limit, and a job journal with a compaction threshold small enough
+# that the run's own traffic rotates the log. The node is SIGKILLed (no
+# drain) and restarted on the same journal: the finished jobs must come
+# back with their results from a replay bounded by the compacted log —
+# not the full 3-records-per-job history — and the original idempotency
+# key must dedupe onto its pre-restart job.
 
 JDIR="$(mktemp -d)"; JPATH="$JDIR/jobs.journal"; HLOG="$(mktemp)"
 TOKEN="smoke-secret-token"
 AUTH="Authorization: Bearer $TOKEN"
 
 "$BIN" -addr 127.0.0.1:0 -jobs 1 -tokens "$TOKEN=smoke" -journal "$JPATH" \
-  >"$HLOG" 2>&1 &
+  -journal-max-records 6 >"$HLOG" 2>&1 &
 HPID=$!
 trap 'kill -9 $HPID 2>/dev/null || true; wait 2>/dev/null || true' EXIT
 HPORT=""
@@ -224,6 +229,22 @@ DONE_ID=$(echo "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
 [ -n "$DONE_ID" ] || hfail "no job id in $resp"
 job=$(curl -s -H "$AUTH" "$HBASE/v1/jobs/$DONE_ID?wait=30s")
 echo "$job" | grep -q '"state":"done"' || hfail "journaled job did not finish: $job"
+
+# Drive the journal past its 6-record compaction threshold: each job
+# appends 3 records (accepted/started/finished), so this batch forces at
+# least one snapshot rotation while the node is live.
+NJOBS=9  # total journaled jobs this incarnation, DONE_ID included
+for _ in $(seq 1 $((NJOBS - 1))); do
+  resp=$(curl -s -XPOST "$HBASE/v1/analyze" -H "$AUTH" -d '{"workload":"histogram"}')
+  jid=$(echo "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+  [ -n "$jid" ] || hfail "no job id in compaction-batch response $resp"
+  curl -s -H "$AUTH" "$HBASE/v1/jobs/$jid?wait=30s" | grep -q '"state":"done"' \
+    || hfail "compaction-batch job $jid did not finish"
+done
+curl -s "$HBASE/metrics" > /tmp/metrics_compact.txt
+ncompact=$(sed -n 's/^dp_journal_compactions_total \([0-9.e+]*\)$/\1/p' /tmp/metrics_compact.txt)
+awk -v v="${ncompact:-0}" 'BEGIN { exit (v >= 1 ? 0 : 1) }' \
+  || hfail "journal never compacted (dp_journal_compactions_total=$ncompact after $NJOBS jobs over a 6-record threshold)"
 
 # Give the batched fsync its few-millisecond window, then kill -9: no
 # drain, no journal close — recovery must come from replay alone.
@@ -282,6 +303,11 @@ grep -q 'dp_jobs_rejected_total{reason="ratelimit"}' /tmp/metrics4.txt \
   || hfail "ratelimit rejections not labeled in /metrics"
 grep -q '^dp_journal_replayed_records ' /tmp/metrics4.txt \
   || hfail "journal replay gauge missing from /metrics"
+# Compaction bounded the boot: an uncompacted log would replay the full
+# 3-records-per-job history (3 * NJOBS); the rotated one must replay less.
+replayed=$(sed -n 's/^dp_journal_replayed_records \([0-9.e+]*\)$/\1/p' /tmp/metrics4.txt)
+awk -v v="${replayed:-0}" -v n="$NJOBS" 'BEGIN { exit (v > 0 && v < 3 * n ? 0 : 1) }' \
+  || hfail "restart replayed $replayed records for $NJOBS jobs — compaction did not bound the log"
 
 kill -TERM "$HPID"
 for _ in $(seq 1 50); do
